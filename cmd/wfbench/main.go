@@ -1,0 +1,47 @@
+// Command wfbench runs the experiment suite of the reproduction and prints
+// one table per experiment. The paper has no empirical evaluation section,
+// so each experiment validates one of its formal claims (see DESIGN.md and
+// EXPERIMENTS.md for the index).
+//
+// Usage:
+//
+//	wfbench [-quick] [-only E3,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"collabwf/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	failed := 0
+	for _, e := range bench.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		tbl, err := e.Run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(tbl.Render())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+// Command wfexplain drives a run of a workflow specification and explains
+// it from one peer's perspective: it prints the structured runtime
+// explanation (the minimal faithful scenario rendered as observed
+// transitions with their causes) and compares explanation sizes.
+//
+// Usage:
+//
+//	wfexplain -spec workflow.wf -peer sue [-steps 20] [-seed 1] [-minimum]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collabwf/internal/core"
+	"collabwf/internal/engine"
+	"collabwf/internal/parse"
+	"collabwf/internal/program"
+	"collabwf/internal/prov"
+	"collabwf/internal/scenario"
+	"collabwf/internal/schema"
+	"collabwf/internal/trace"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "workflow specification file")
+	peer := flag.String("peer", "", "peer to explain the run for")
+	steps := flag.Int("steps", 20, "maximum number of events to fire")
+	seed := flag.Int64("seed", 1, "random scheduler seed")
+	minimum := flag.Bool("minimum", false, "also search the (NP-hard) minimum scenario")
+	tracePath := flag.String("trace", "", "explain this recorded JSON trace instead of a random run")
+	dotPath := flag.String("dot", "", "write the provenance graph (Graphviz DOT) to this file")
+	event := flag.Int("event", -1, "explain this single event (chain of causes and dependents)")
+	flag.Parse()
+
+	if *specPath == "" || *peer == "" {
+		fmt.Fprintln(os.Stderr, "wfexplain: -spec and -peer are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := parse.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	p := schema.Peer(*peer)
+	if !spec.Program.Schema.HasPeer(p) {
+		fatal(fmt.Errorf("unknown peer %s", p))
+	}
+	var r *program.Run
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		r, err = tr.Replay(spec.Program)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run of %s: %d events (from %s)\n", spec.Name, r.Len(), *tracePath)
+	} else {
+		r, err = engine.RandomRun(spec.Program, *steps, *seed, 8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run of %s: %d events (seed %d)\n", spec.Name, r.Len(), *seed)
+	}
+
+	ex := core.NewExplainer(r, p)
+	fmt.Println()
+	fmt.Print(ex.Report())
+
+	minSeq := ex.MinimalScenario()
+	greedy := scenario.Greedy(r, p)
+	fmt.Printf("\nexplanation sizes: run %d, minimal faithful %d, greedy scenario %d\n",
+		r.Len(), len(minSeq), len(greedy))
+	fmt.Printf("minimal faithful scenario events: %v\n", minSeq)
+
+	if *event >= 0 {
+		if *event >= r.Len() {
+			fatal(fmt.Errorf("event %d out of range (run has %d events)", *event, r.Len()))
+		}
+		g := prov.Build(r, p)
+		fmt.Printf("\nevent #%d %s\n", *event, r.Event(*event))
+		fmt.Printf("explanation (transitive causes): %v\n", g.Explanation(*event))
+		fmt.Printf("direct requirements: %v\n", g.Direct(*event))
+		fmt.Printf("directly enables: %v\n", g.Dependents(*event))
+		fmt.Printf("peers involved: %v\n", g.PeersInvolved(*event))
+	}
+
+	if *dotPath != "" {
+		g := prov.Build(r, p)
+		if err := os.WriteFile(*dotPath, []byte(g.DOT()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("provenance graph written to %s\n", *dotPath)
+	}
+
+	if *minimum {
+		min, err := scenario.Minimum(r, p, scenario.Options{})
+		if err != nil {
+			fmt.Printf("minimum scenario search: %v\n", err)
+		} else {
+			fmt.Printf("minimum scenario: %v (length %d)\n", min, len(min))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfexplain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command wfrun loads a workflow specification, drives a run with the
+// seeded random scheduler, and prints the run together with each peer's
+// view of it.
+//
+// Usage:
+//
+//	wfrun -spec workflow.wf [-steps 20] [-seed 1] [-peer sue]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collabwf/internal/engine"
+	"collabwf/internal/parse"
+	"collabwf/internal/trace"
+	"collabwf/internal/view"
+
+	"collabwf/internal/schema"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "workflow specification file")
+	steps := flag.Int("steps", 20, "maximum number of events to fire")
+	seed := flag.Int64("seed", 1, "random scheduler seed")
+	peer := flag.String("peer", "", "print only this peer's view")
+	out := flag.String("out", "", "write the run as a JSON trace to this file")
+	flag.Parse()
+
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "wfrun: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := parse.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := spec.Program.Schema.CheckLossless(); err != nil {
+		fmt.Fprintf(os.Stderr, "wfrun: warning: %v\n", err)
+	}
+	r, err := engine.RandomRun(spec.Program, *steps, *seed, 8)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.FromRun(spec.Name, r).Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+	fmt.Printf("workflow %s: %d events (seed %d)\n\n", spec.Name, r.Len(), *seed)
+	fmt.Println(r)
+	fmt.Printf("\nfinal instance: %s\n\n", r.Current())
+
+	peers := spec.Program.Peers()
+	if *peer != "" {
+		peers = []schema.Peer{schema.Peer(*peer)}
+	}
+	for _, p := range peers {
+		if !spec.Program.Schema.HasPeer(p) {
+			fatal(fmt.Errorf("unknown peer %s", p))
+		}
+		fmt.Printf("view at %s:\n  %s\n", p, view.Of(r, p))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfrun:", err)
+	os.Exit(1)
+}

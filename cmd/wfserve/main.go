@@ -1,0 +1,78 @@
+// Command wfserve hosts a workflow specification behind the master-server
+// architecture of the paper's conclusion: peers submit rule firings over a
+// JSON HTTP API, the coordinator serializes them into the global run, and
+// each peer can fetch its view, its visible transitions, and faithful
+// explanations of what it observed. Optional guards enforce transparency
+// and h-boundedness for selected peers by rejecting violating submissions.
+//
+// Usage:
+//
+//	wfserve -spec workflow.wf [-addr :8080] [-guard sue=3 -guard bob=2]
+//
+// Endpoints: POST /submit, GET /view, /explain, /scenario, /transitions,
+// /trace (see internal/server).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"collabwf/internal/parse"
+	"collabwf/internal/schema"
+	"collabwf/internal/server"
+)
+
+type guardFlags []string
+
+func (g *guardFlags) String() string     { return strings.Join(*g, ",") }
+func (g *guardFlags) Set(s string) error { *g = append(*g, s); return nil }
+
+func main() {
+	specPath := flag.String("spec", "", "workflow specification file")
+	addr := flag.String("addr", ":8080", "listen address")
+	var guards guardFlags
+	flag.Var(&guards, "guard", "peer=h transparency guard (repeatable)")
+	flag.Parse()
+
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "wfserve: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := parse.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	c := server.New(spec.Name, spec.Program)
+	for _, g := range guards {
+		peer, hs, ok := strings.Cut(g, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -guard %q, want peer=h", g))
+		}
+		h, err := strconv.Atoi(hs)
+		if err != nil {
+			fatal(fmt.Errorf("bad -guard budget %q: %v", hs, err))
+		}
+		if err := c.Guard(schema.Peer(peer), h); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("guarding transparency and %d-boundedness for %s\n", h, peer)
+	}
+	fmt.Printf("serving workflow %s on %s\n", spec.Name, *addr)
+	if err := http.ListenAndServe(*addr, server.Handler(c)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,221 @@
+// Package collabwf is a Go implementation of the data-driven collaborative
+// workflow model and the explanation machinery of
+//
+//	Serge Abiteboul, Pierre Bourhis, Victor Vianu:
+//	"Explanations and Transparency in Collaborative Workflows", PODS 2018.
+//
+// In the model, peers share a global relational database through
+// selection-projection views and update it with datalog-style rules; a run
+// is a sequence of rule instantiations (events). The library provides:
+//
+//   - the workflow substrate: schemas with per-peer views and the
+//     losslessness check, FCQ¬ rule bodies, the chase-based update
+//     semantics, runs with visibility tracking (Section 2);
+//   - runtime explanations: scenarios, minimum-scenario search, and the
+//     unique minimal faithful scenario of a run for a peer, maintained
+//     incrementally (Sections 3–4);
+//   - static explanations: decision procedures for h-boundedness and
+//     transparency, and synthesis of view programs whose rules carry
+//     provenance (Section 5);
+//   - a design methodology: stage-discipline transformation, p-graph
+//     acyclicity bounds, a runtime transparency monitor, and the
+//     transparency-form rewriting (Section 6);
+//   - a concrete syntax for workflow specifications (internal/parse),
+//     JSON run traces (internal/trace), causal provenance graphs
+//     (internal/prov), the master-server coordinator of the paper's
+//     conclusion (internal/server), and command-line tools (cmd/wfrun,
+//     cmd/wfexplain, cmd/wfsynth, cmd/wfserve, cmd/wfbench).
+//
+// This package is a facade re-exporting the main types and entry points;
+// the implementation lives under internal/.
+package collabwf
+
+import (
+	"collabwf/internal/cond"
+	"collabwf/internal/core"
+	"collabwf/internal/data"
+	"collabwf/internal/design"
+	"collabwf/internal/engine"
+	"collabwf/internal/faithful"
+	"collabwf/internal/parse"
+	"collabwf/internal/program"
+	"collabwf/internal/prov"
+	"collabwf/internal/query"
+	"collabwf/internal/rule"
+	"collabwf/internal/scenario"
+	"collabwf/internal/schema"
+	"collabwf/internal/server"
+	"collabwf/internal/synth"
+	"collabwf/internal/trace"
+	"collabwf/internal/transparency"
+)
+
+// Core model types (Section 2).
+type (
+	// Value is an element of the data domain dom.
+	Value = data.Value
+	// Attr is an attribute name; every relation's key attribute is K.
+	Attr = data.Attr
+	// Tuple is a positional tuple over a relation schema.
+	Tuple = data.Tuple
+	// Peer identifies a workflow participant.
+	Peer = schema.Peer
+	// Relation is a relation schema with the common single-attribute key.
+	Relation = schema.Relation
+	// Database is a global database schema.
+	Database = schema.Database
+	// View is a selection-projection view R@p of a relation at a peer.
+	View = schema.View
+	// Schema is a collaborative schema: a database plus peer views.
+	Schema = schema.Collaborative
+	// Instance is a valid instance of a database schema.
+	Instance = schema.Instance
+	// ViewInstance is a peer's view I@p of a global instance.
+	ViewInstance = schema.ViewInstance
+	// Condition is a Boolean combination of elementary conditions, used
+	// as view selections.
+	Condition = cond.Condition
+	// Rule is a workflow update rule at a peer.
+	Rule = rule.Rule
+	// Query is an FCQ¬ rule body.
+	Query = query.Query
+	// Program is a workflow specification: schema plus rules.
+	Program = program.Program
+	// Run is a run of a program with per-event effect recording.
+	Run = program.Run
+	// Event is a rule instantiation.
+	Event = program.Event
+	// Spec is a parsed textual workflow specification.
+	Spec = parse.Spec
+)
+
+// Explanation types (Sections 3–5).
+type (
+	// Explainer maintains runtime explanations of a run for one peer.
+	Explainer = core.Explainer
+	// ExplanationReport is a structured runtime explanation.
+	ExplanationReport = core.Report
+	// ViewProgram is a synthesized view program with provenance-carrying
+	// ω-rules.
+	ViewProgram = synth.Result
+	// SearchOptions bounds the static decision procedures.
+	SearchOptions = transparency.Options
+	// ScenarioOptions bounds the NP-hard scenario searches.
+	ScenarioOptions = scenario.Options
+	// Monitor is the runtime transparency/boundedness monitor of the
+	// design methodology.
+	Monitor = design.Monitor
+	// Coordinator is the master server of the paper's conclusion:
+	// serialized submissions, per-peer observation and explanation, and
+	// guarded transparency enforcement.
+	Coordinator = server.Coordinator
+	// Trace is a serialized, replayable run.
+	Trace = trace.Trace
+	// ProvGraph is the causal graph over a run's events derived from
+	// faithfulness; it supports provenance queries and DOT export.
+	ProvGraph = prov.Graph
+)
+
+// Null is the distinguished undefined value ⊥.
+const Null = data.Null
+
+// World is the fictitious peer ω used by synthesized view programs.
+const World = schema.World
+
+// Parse parses a textual workflow specification into a validated program.
+func Parse(src string) (*Spec, error) { return parse.Parse(src) }
+
+// PrintProgram renders a program in the surface syntax accepted by Parse.
+func PrintProgram(name string, p *Program) string { return parse.Print(name, p) }
+
+// NewRun starts a run of the program from the empty instance.
+func NewRun(p *Program) *Run { return program.NewRun(p) }
+
+// NewRunFrom starts a run from an arbitrary initial instance.
+func NewRunFrom(p *Program, initial *Instance) *Run { return program.NewRunFrom(p, initial) }
+
+// Play executes a deterministic script of rule firings.
+func Play(p *Program, s engine.Script) (*Run, error) { return engine.Play(p, s) }
+
+// RandomRun drives the program with a seeded random scheduler.
+func RandomRun(p *Program, steps int, seed int64) (*Run, error) {
+	return engine.RandomRun(p, steps, seed, 0)
+}
+
+// NewExplainer attaches a runtime explainer for the peer to the run
+// (Theorem 4.7: it maintains the unique minimal p-faithful scenario,
+// incrementally).
+func NewExplainer(r *Run, peer Peer) *Explainer { return core.NewExplainer(r, peer) }
+
+// MinimalFaithfulScenario computes the unique minimal p-faithful scenario
+// of a run from scratch, returning the selected event indices and the
+// replayed subrun.
+func MinimalFaithfulScenario(r *Run, peer Peer) ([]int, *Run, error) {
+	a := faithful.NewAnalysis(r)
+	seq, sub, err := faithful.Minimal(a, peer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seq.Sorted(), sub, nil
+}
+
+// IsScenario reports whether the selected event subsequence is a scenario
+// of the run at the peer (Definition 3.2).
+func IsScenario(r *Run, peer Peer, indices []int) bool {
+	return scenario.IsScenario(r, peer, indices)
+}
+
+// MinimumScenario searches exhaustively for a minimum-length scenario
+// (NP-complete, Theorem 3.3; bounded by opts).
+func MinimumScenario(r *Run, peer Peer, opts ScenarioOptions) ([]int, error) {
+	return scenario.Minimum(r, peer, opts)
+}
+
+// GreedyScenario computes a 1-minimal scenario in polynomial time.
+func GreedyScenario(r *Run, peer Peer) []int { return scenario.Greedy(r, peer) }
+
+// CheckBounded decides h-boundedness of the program for the peer
+// (Theorem 5.10). A nil violation means h-bounded relative to the caps.
+func CheckBounded(p *Program, peer Peer, h int, opts SearchOptions) (*transparency.BoundViolation, error) {
+	return transparency.CheckBounded(p, peer, h, opts)
+}
+
+// CheckTransparent decides transparency of an h-bounded program for the
+// peer (Theorem 5.11).
+func CheckTransparent(p *Program, peer Peer, h int, opts SearchOptions) (*transparency.TransparencyViolation, error) {
+	return transparency.CheckTransparent(p, peer, h, opts)
+}
+
+// SynthesizeViewProgram constructs the view program P@p of a transparent,
+// h-bounded program (Theorem 5.13); ω-rule bodies carry the provenance of
+// the transitions they describe.
+func SynthesizeViewProgram(p *Program, peer Peer, h int, opts SearchOptions) (*ViewProgram, error) {
+	return synth.Synthesize(p, peer, h, opts)
+}
+
+// Staged rewrites a program to follow the stage discipline of the design
+// guidelines, making it transparent for the peer by construction
+// (Theorem 6.2).
+func Staged(p *Program, peer Peer) (*Program, error) { return design.Staged(p, peer) }
+
+// NewMonitor attaches a runtime transparency and h-boundedness monitor for
+// the peer to a run (Definition 6.4, Remark 6.9).
+func NewMonitor(r *Run, peer Peer, h int) *Monitor { return design.NewMonitor(r, peer, h) }
+
+// AcyclicBound computes the h-boundedness guarantee (ab+1)^d of
+// Theorem 6.3 for p-acyclic linear-head programs.
+func AcyclicBound(p *Program, peer Peer) (int, error) { return design.AcyclicBound(p, peer) }
+
+// NewCoordinator starts a master server for the program (see cmd/wfserve
+// for the HTTP façade).
+func NewCoordinator(name string, p *Program) *Coordinator { return server.New(name, p) }
+
+// RecordTrace serializes a run for storage or hand-off; Trace.Replay
+// reconstructs and re-validates it.
+func RecordTrace(name string, r *Run) *Trace { return trace.FromRun(name, r) }
+
+// BuildProvenance computes the causal graph of a run for a peer: edges
+// follow the direct requirements of boundary and modification faithfulness,
+// so the nodes reachable from an event are exactly its minimal faithful
+// explanation.
+func BuildProvenance(r *Run, peer Peer) *ProvGraph { return prov.Build(r, peer) }

@@ -1,0 +1,3 @@
+module collabwf
+
+go 1.22

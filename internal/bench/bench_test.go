@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment runs green in quick mode and renders a non-empty table.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.ID != e.ID {
+				t.Fatalf("table ID %q", tbl.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			text := tbl.Render()
+			if !strings.Contains(text, tbl.Claim) || !strings.Contains(text, tbl.Columns[0]) {
+				t.Fatalf("render incomplete:\n%s", text)
+			}
+		})
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		ID: "T", Title: "test", Claim: "c",
+		Columns: []string{"a", "long-column"},
+	}
+	tbl.AddRow("wide-cell", "x")
+	tbl.Notef("n=%d", 7)
+	out := tbl.Render()
+	if !strings.Contains(out, "wide-cell") || !strings.Contains(out, "note: n=7") {
+		t.Fatalf("render=%q", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header and row must have the same prefix width for column 2.
+	var header, row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "a ") {
+			header = l
+		}
+		if strings.HasPrefix(l, "wide-cell") {
+			row = l
+		}
+	}
+	if strings.Index(header, "long-column") != strings.Index(row, "x") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}

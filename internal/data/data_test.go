@@ -1,0 +1,193 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueNull(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must report IsNull")
+	}
+	if Value("a").IsNull() {
+		t.Fatal("a must not report IsNull")
+	}
+	if Null.String() != "⊥" {
+		t.Fatalf("Null renders as %q", Null.String())
+	}
+}
+
+func TestTupleKey(t *testing.T) {
+	if (Tuple{}).Key() != Null {
+		t.Fatal("empty tuple key must be ⊥")
+	}
+	if (Tuple{"k", "a"}).Key() != "k" {
+		t.Fatal("key is first position")
+	}
+}
+
+func TestTupleCloneIndependent(t *testing.T) {
+	a := Tuple{"k", "x"}
+	b := a.Clone()
+	b[1] = "y"
+	if a[1] != "x" {
+		t.Fatal("clone must not alias")
+	}
+	if !a.Equal(Tuple{"k", "x"}) {
+		t.Fatal("original changed")
+	}
+}
+
+func TestTupleEqual(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want bool
+	}{
+		{Tuple{"k"}, Tuple{"k"}, true},
+		{Tuple{"k"}, Tuple{"k", "a"}, false},
+		{Tuple{"k", Null}, Tuple{"k", Null}, true},
+		{Tuple{"k", "a"}, Tuple{"k", "b"}, false},
+		{nil, nil, true},
+		{nil, Tuple{}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTupleSubsumes(t *testing.T) {
+	cases := []struct {
+		t, u Tuple
+		want bool
+	}{
+		{Tuple{"k", "a", "b"}, Tuple{"k", Null, "b"}, true},
+		{Tuple{"k", "a", "b"}, Tuple{"k", "a", "b"}, true},
+		{Tuple{"k", Null, "b"}, Tuple{"k", "a", "b"}, false},
+		{Tuple{"k", "a"}, Tuple{"k", "a", "b"}, false},
+		{Tuple{"k", "a", "b"}, Tuple{Null, Null, Null}, true},
+	}
+	for _, c := range cases {
+		if got := c.t.Subsumes(c.u); got != c.want {
+			t.Errorf("%v.Subsumes(%v)=%v want %v", c.t, c.u, got, c.want)
+		}
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	if (Tuple{"a"}).Compare(Tuple{"b"}) != -1 {
+		t.Fatal("a < b")
+	}
+	if (Tuple{"b"}).Compare(Tuple{"a"}) != 1 {
+		t.Fatal("b > a")
+	}
+	if (Tuple{"a"}).Compare(Tuple{"a", "x"}) != -1 {
+		t.Fatal("prefix is smaller")
+	}
+	if (Tuple{"a", "x"}).Compare(Tuple{"a", "x"}) != 0 {
+		t.Fatal("equal tuples compare 0")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := Tuple{"k", Null, "v"}.String()
+	if got != "(k, ⊥, v)" {
+		t.Fatalf("String()=%q", got)
+	}
+}
+
+func TestFreshSourceDistinct(t *testing.T) {
+	f := NewFreshSource("v")
+	seen := NewValueSet()
+	for i := 0; i < 1000; i++ {
+		if !seen.Add(f.Next()) {
+			t.Fatal("fresh source repeated a value")
+		}
+	}
+	if f.Peek() != 1000 {
+		t.Fatalf("Peek()=%d", f.Peek())
+	}
+}
+
+func TestFreshSourceDefaultPrefix(t *testing.T) {
+	f := NewFreshSource("")
+	v := f.Next()
+	if v != "ν1" {
+		t.Fatalf("default prefix value %q", v)
+	}
+}
+
+func TestValueSetBasics(t *testing.T) {
+	s := NewValueSet("a", "b")
+	if !s.Has("a") || !s.Has("b") || s.Has("c") {
+		t.Fatal("membership wrong")
+	}
+	if s.Add("a") {
+		t.Fatal("re-adding must report false")
+	}
+	if !s.Add("c") {
+		t.Fatal("adding fresh must report true")
+	}
+	got := s.Sorted()
+	want := []Value{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted()=%v", got)
+		}
+	}
+}
+
+func TestValueSetIntersects(t *testing.T) {
+	a := NewValueSet("x", "y")
+	b := NewValueSet("y", "z")
+	c := NewValueSet("z")
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("a and b intersect")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a and c are disjoint")
+	}
+	a.AddAll(c)
+	if !a.Intersects(c) {
+		t.Fatal("after AddAll they intersect")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal.
+func TestTupleComparePropertied(t *testing.T) {
+	f := func(a, b []string) bool {
+		ta := make(Tuple, len(a))
+		for i, s := range a {
+			ta[i] = Value(s)
+		}
+		tb := make(Tuple, len(b))
+		for i, s := range b {
+			tb[i] = Value(s)
+		}
+		c1, c2 := ta.Compare(tb), tb.Compare(ta)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Subsumes is reflexive and every tuple subsumes its all-null mask.
+func TestSubsumesProperties(t *testing.T) {
+	f := func(a []string) bool {
+		ta := make(Tuple, len(a))
+		mask := make(Tuple, len(a))
+		for i, s := range a {
+			ta[i] = Value(s)
+			mask[i] = Null
+		}
+		return ta.Subsumes(ta) && ta.Subsumes(mask)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package design
+
+import (
+	"fmt"
+
+	"collabwf/internal/data"
+	"collabwf/internal/program"
+	"collabwf/internal/schema"
+)
+
+// GuardedRun enforces transparency and h-boundedness for a peer at run
+// time, in the filtering spirit of the rewritten program Pᵗ (Theorem 6.7):
+// an event whose acceptance would make the run violate either property is
+// rejected and the run left unchanged, so every prefix of a guarded run is
+// transparent and h-bounded for the peer. (Remark 6.9 discusses the
+// alternatives: blocking — this type —, alerting — the bare Monitor —, or
+// rolling back.)
+type GuardedRun struct {
+	run  *program.Run
+	mon  *Monitor
+	peer schema.Peer
+	h    int
+	// rejected counts the events turned away.
+	rejected int
+}
+
+// NewGuardedRun starts a guarded run of p from the empty instance.
+func NewGuardedRun(p *program.Program, peer schema.Peer, h int) *GuardedRun {
+	run := program.NewRun(p)
+	return &GuardedRun{run: run, mon: NewMonitor(run, peer, h), peer: peer, h: h}
+}
+
+// Run exposes the underlying run (read-only use intended; append through
+// the guard).
+func (g *GuardedRun) Run() *program.Run { return g.run }
+
+// Rejected reports how many events the guard refused.
+func (g *GuardedRun) Rejected() int { return g.rejected }
+
+// Append commits the event if the monitored run stays violation-free and
+// rejects it otherwise. Rejection rolls the run and monitor back, which
+// costs a replay of the accepted prefix.
+func (g *GuardedRun) Append(e *program.Event) error {
+	if err := g.run.Append(e); err != nil {
+		return err
+	}
+	g.mon.Sync()
+	if vs := g.mon.Violations(); len(vs) > 0 {
+		g.rejected++
+		g.rollback()
+		return fmt.Errorf("design: event rejected by the transparency guard: %s", vs[len(vs)-1].Reason)
+	}
+	return nil
+}
+
+// FireRule fires the named rule through the guard.
+func (g *GuardedRun) FireRule(name string, bindings map[string]data.Value) (*program.Event, error) {
+	// Fire on a scratch copy first so a rejected event never perturbs the
+	// fresh-value counter of the committed run.
+	probe := program.NewRunFrom(g.run.Prog, g.run.Initial)
+	for i := 0; i < g.run.Len(); i++ {
+		probe.MustAppend(g.run.Event(i))
+	}
+	e, err := probe.FireRule(name, bindings)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Append(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// rollback rebuilds the run and monitor without the last (violating)
+// event.
+func (g *GuardedRun) rollback() {
+	fresh := program.NewRunFrom(g.run.Prog, g.run.Initial)
+	for i := 0; i < g.run.Len()-1; i++ {
+		fresh.MustAppend(g.run.Event(i))
+	}
+	g.run = fresh
+	g.mon = NewMonitor(fresh, g.peer, g.h)
+}

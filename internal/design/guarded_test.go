@@ -1,0 +1,100 @@
+package design
+
+import (
+	"strings"
+	"testing"
+
+	"collabwf/internal/data"
+	"collabwf/internal/workload"
+)
+
+// The guard accepts a whole transparent stage-disciplined episode.
+func TestGuardedRunAcceptsTransparentEpisode(t *testing.T) {
+	staged, err := Staged(workload.Hiring(), "sue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuardedRun(staged, "sue", 3)
+	mustGuard(t, g, "stage_refresh_hr", nil)
+	e, err := g.FireRule("clear", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := e.Updates[0].Key
+	mustGuard(t, g, "stage_refresh_cfo", nil)
+	mustGuard(t, g, "cfo_ok", map[string]data.Value{"x": cand})
+	mustGuard(t, g, "approve", map[string]data.Value{"x": cand})
+	mustGuard(t, g, "hire", map[string]data.Value{"x": cand})
+	if g.Rejected() != 0 {
+		t.Fatalf("rejected %d events", g.Rejected())
+	}
+	if !g.Run().Current().HasKey("Hire", cand) {
+		t.Fatal("guarded run must complete the hire")
+	}
+}
+
+// With budget h=2 the visible hire overflows the stage budget and is
+// rejected; the run stays at its pre-hire state and can continue.
+func TestGuardedRunRejectsOverBudget(t *testing.T) {
+	staged, err := Staged(workload.Hiring(), "sue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuardedRun(staged, "sue", 2)
+	mustGuard(t, g, "stage_refresh_hr", nil)
+	e, err := g.FireRule("clear", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := e.Updates[0].Key
+	mustGuard(t, g, "stage_refresh_cfo", nil)
+	mustGuard(t, g, "cfo_ok", map[string]data.Value{"x": cand})
+	mustGuard(t, g, "approve", map[string]data.Value{"x": cand})
+	lenBefore := g.Run().Len()
+	_, err = g.FireRule("hire", map[string]data.Value{"x": cand})
+	if err == nil || !strings.Contains(err.Error(), "guard") {
+		t.Fatalf("hire must be rejected, got %v", err)
+	}
+	if g.Rejected() != 1 {
+		t.Fatalf("rejected=%d", g.Rejected())
+	}
+	if g.Run().Len() != lenBefore {
+		t.Fatal("rejected event must not remain in the run")
+	}
+	// The guarded run remains usable after a rejection: the stage is still
+	// open (the rejected hire would have closed it), so another visible
+	// clear — which only reads the Stage relation — goes through.
+	if _, err := g.FireRule("clear", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Every prefix of what the guard accepted is clean.
+	if vs := CheckRun(g.Run(), "sue", 2); len(vs) != 0 {
+		t.Fatalf("guarded run has violations: %v", vs)
+	}
+}
+
+// Cross-stage information use on the raw hiring program is blocked.
+func TestGuardedRunBlocksCrossStageUse(t *testing.T) {
+	p := workload.Hiring()
+	g := NewGuardedRun(p, "sue", 3)
+	e, err := g.FireRule("clear", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := e.Updates[0].Key
+	mustGuard(t, g, "cfo_ok", map[string]data.Value{"x": cand})
+	mustGuard(t, g, "approve", map[string]data.Value{"x": cand})
+	// A second visible clear opens a new stage…
+	mustGuard(t, g, "clear", nil)
+	// …after which hiring based on the stale Approved fact is rejected.
+	if _, err := g.FireRule("hire", map[string]data.Value{"x": cand}); err == nil {
+		t.Fatal("cross-stage hire must be rejected")
+	}
+}
+
+func mustGuard(t *testing.T, g *GuardedRun, rule string, bind map[string]data.Value) {
+	t.Helper()
+	if _, err := g.FireRule(rule, bind); err != nil {
+		t.Fatalf("%s: %v", rule, err)
+	}
+}

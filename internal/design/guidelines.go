@@ -1,0 +1,202 @@
+// Package design implements the transparent-program design methodology of
+// Section 6 of the paper: the design guidelines (C1)–(C4) and the Stage
+// discipline that make programs transparent by construction (Theorem 6.2),
+// the p-graph acyclicity bound (Theorem 6.3), run-level transparency and
+// h-boundedness (Definition 6.4) with a runtime monitor that filters or
+// flags violating stages (Remark 6.9), the transparency-form conditions
+// (C3′)/(C4′) of Definition 6.5, and a static rewriting P → Pᵗ with
+// bookkeeping relations (Theorem 6.7).
+package design
+
+import (
+	"fmt"
+
+	"collabwf/internal/data"
+	"collabwf/internal/program"
+	"collabwf/internal/query"
+	"collabwf/internal/rule"
+	"collabwf/internal/schema"
+)
+
+// StageRelation is the name of the stage-id relation introduced by the
+// design guidelines. It holds at most one tuple Stage(0, s), where s is the
+// current stage id.
+const StageRelation = "Stage"
+
+// StageKey is the key of the unique Stage tuple.
+const StageKey = data.Value("0")
+
+// CheckC1 verifies guideline (C1): every peer that sees a relation visible
+// at p sees it fully (all attributes, selection true).
+func CheckC1(p *program.Program, peer schema.Peer) error {
+	s := p.Schema
+	for _, name := range s.DB.Names() {
+		if _, visible := s.View(peer, name); !visible {
+			continue
+		}
+		for _, q := range s.Peers() {
+			v, ok := s.View(q, name)
+			if !ok {
+				continue
+			}
+			if !v.Full() {
+				return fmt.Errorf("design: (C1) violated: %s sees %s (visible at %s) only partially", q, name, peer)
+			}
+		}
+	}
+	return nil
+}
+
+// VisiblyUpdates reports whether the rule updates a relation visible at
+// peer. Under (C1) such updates are exactly the ones that may be visible at
+// peer.
+func VisiblyUpdates(r *rule.Rule, s *schema.Collaborative, peer schema.Peer) bool {
+	for _, u := range r.Head {
+		if _, ok := s.View(peer, u.Relation()); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Staged rewrites a program to follow the stage discipline of Example 5.7
+// and the design guidelines (C1)–(C4) of Section 6 for the given peer,
+// returning a new program over an extended schema:
+//
+//   - a new binary relation Stage(K, S), visible to every peer, holding at
+//     most the tuple Stage(0, s) with the current stage id;
+//   - one refresh rule per peer, +Stage(0, z) :- ¬Key_Stage(0), binding z
+//     to a globally fresh stage id;
+//   - every rule with a p-visible update additionally deletes Stage(0, s)
+//     (guarded by Stage(0, s) in the body), closing the stage;
+//   - every relation R invisible to p is re-keyed: its tuples get a fresh
+//     synthetic key per insertion, the original key K of R becomes an
+//     ordinary payload attribute K0, and a StageID attribute records the
+//     stage in which the fact was produced. Rule bodies match only
+//     current-stage facts; rule heads create fresh-keyed, stage-stamped
+//     facts — guideline (C4)(ii)'s "creations of tuples with new keys".
+//
+// Fresh keys and fresh stage ids together make invisible information
+// unusable across p-visible transitions and immune to interference from
+// arbitrary pre-existing facts, which is the crux of transparency by design
+// (Theorem 6.2): a planted invisible fact can neither carry the current
+// stage id (stage ids are new values) nor collide with an insertion (keys
+// are new values).
+//
+// Programs with deletions of or negative literals on p-invisible relations
+// are rejected — guideline (C4) disallows deletions from p-invisible
+// transparent relations, and negative conditions on re-keyed relations have
+// no faithful translation.
+func Staged(p *program.Program, peer schema.Peer) (*program.Program, error) {
+	if err := CheckC1(p, peer); err != nil {
+		return nil, err
+	}
+	old := p.Schema
+	if old.DB.Relation(StageRelation) != nil {
+		return nil, fmt.Errorf("design: program already has a %s relation", StageRelation)
+	}
+
+	// Extended database schema: invisible relations are re-keyed and gain
+	// StageID; their original key is demoted to the payload attribute K0.
+	var rels []*schema.Relation
+	invisible := make(map[string]bool)
+	for _, name := range old.DB.Names() {
+		r := old.DB.Relation(name)
+		if _, ok := old.View(peer, name); ok {
+			rels = append(rels, schema.MustRelation(name, r.Attrs[1:]...))
+		} else {
+			invisible[name] = true
+			attrs := append([]data.Attr{"K0"}, r.Attrs[1:]...)
+			attrs = append(attrs, "StageID")
+			rels = append(rels, schema.MustRelation(name, attrs...))
+		}
+	}
+	stageRel := schema.MustRelation(StageRelation, "S")
+	rels = append(rels, stageRel)
+	db := schema.MustDatabase(rels...)
+
+	collab := schema.NewCollaborative(db)
+	for _, q := range old.Peers() {
+		for _, v := range old.ViewsAt(q) {
+			if !invisible[v.Rel.Name] {
+				collab.MustAddView(schema.MustView(db.Relation(v.Rel.Name), q, v.Attrs[1:], v.Selection))
+				continue
+			}
+			attrs := []data.Attr{"K0"}
+			for _, a := range v.Attrs[1:] {
+				attrs = append(attrs, a)
+			}
+			attrs = append(attrs, "StageID")
+			collab.MustAddView(schema.MustView(db.Relation(v.Rel.Name), q, attrs, v.Selection))
+		}
+		collab.MustAddView(schema.MustView(stageRel, q, []data.Attr{"S"}, nil))
+	}
+
+	var rules []*rule.Rule
+	for _, q := range old.Peers() {
+		rules = append(rules, &rule.Rule{
+			Name: fmt.Sprintf("stage_refresh_%s", q),
+			Peer: q,
+			Head: []rule.Update{rule.Insert{Rel: StageRelation, Args: []query.Term{query.C(StageKey), query.V("z")}}},
+			Body: query.Query{query.KeyAtom{Neg: true, Rel: StageRelation, Arg: query.C(StageKey)}},
+		})
+	}
+	stageVar := query.V("σs")
+	for _, r := range p.Rules() {
+		nr := &rule.Rule{Name: r.Name, Peer: r.Peer, Origin: r.Name}
+		synth := 0
+		// Bodies: invisible atoms get a synthetic key variable, keep the
+		// original key as payload, and must match the current stage.
+		for _, l := range r.Body {
+			switch l := l.(type) {
+			case query.Atom:
+				if invisible[l.Rel] {
+					if l.Neg {
+						return nil, fmt.Errorf("design: rule %s: negative literal on %s-invisible relation %s is not supported by the stage discipline", r.Name, peer, l.Rel)
+					}
+					synth++
+					args := append([]query.Term{query.V(fmt.Sprintf("σk%d", synth))}, l.Args...)
+					args = append(args, stageVar)
+					nr.Body = append(nr.Body, query.Atom{Rel: l.Rel, Args: args})
+				} else {
+					nr.Body = append(nr.Body, l)
+				}
+			case query.KeyAtom:
+				if invisible[l.Rel] {
+					return nil, fmt.Errorf("design: rule %s: key literal on %s-invisible relation %s is not supported by the stage discipline", r.Name, peer, l.Rel)
+				}
+				nr.Body = append(nr.Body, l)
+			default:
+				nr.Body = append(nr.Body, l)
+			}
+		}
+		// Heads: invisible insertions create fresh-keyed, stage-stamped
+		// tuples.
+		for _, u := range r.Head {
+			switch u := u.(type) {
+			case rule.Insert:
+				if invisible[u.Rel] {
+					synth++
+					args := append([]query.Term{query.V(fmt.Sprintf("σk%d", synth))}, u.Args...)
+					args = append(args, stageVar)
+					nr.Head = append(nr.Head, rule.Insert{Rel: u.Rel, Args: args})
+				} else {
+					nr.Head = append(nr.Head, u)
+				}
+			case rule.Delete:
+				if invisible[u.Rel] {
+					return nil, fmt.Errorf("design: rule %s: deletion from %s-invisible relation %s is disallowed by guideline (C4)", r.Name, peer, u.Rel)
+				}
+				nr.Head = append(nr.Head, u)
+			}
+		}
+		// Stage guard for everyone; visible rules additionally close the
+		// stage.
+		nr.Body = append(nr.Body, query.Atom{Rel: StageRelation, Args: []query.Term{query.C(StageKey), stageVar}})
+		if VisiblyUpdates(r, old, peer) {
+			nr.Head = append(nr.Head, rule.Delete{Rel: StageRelation, Key: query.C(StageKey)})
+		}
+		rules = append(rules, nr)
+	}
+	return program.New(collab, rules)
+}

@@ -1,0 +1,184 @@
+package design
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"collabwf/internal/program"
+	"collabwf/internal/query"
+	"collabwf/internal/schema"
+)
+
+// PGraph is the p-graph of a linear-head program (Section 6): nodes are the
+// database relations, and there is an edge R → Q ("R depends on Q") when Q
+// is invisible at p and some rule has head +R@q(ū) or −Key_R@q(x) and a
+// body containing Q@q(v̄) or ¬Key_Q@q(k).
+type PGraph struct {
+	Peer  schema.Peer
+	edges map[string]map[string]bool
+	nodes []string
+}
+
+// IsLinearHead reports whether every rule of the program has a single
+// update in its head (the class Theorem 6.3 applies to).
+func IsLinearHead(p *program.Program) bool {
+	for _, r := range p.Rules() {
+		if len(r.Head) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewPGraph builds the p-graph of the program for the given peer.
+func NewPGraph(p *program.Program, peer schema.Peer) *PGraph {
+	g := &PGraph{Peer: peer, edges: make(map[string]map[string]bool), nodes: p.Schema.DB.Names()}
+	for _, r := range p.Rules() {
+		for _, u := range r.Head {
+			src := u.Relation()
+			for _, l := range r.Body {
+				var dst string
+				switch l := l.(type) {
+				case query.Atom:
+					dst = l.Rel
+				case query.KeyAtom:
+					dst = l.Rel
+				default:
+					continue
+				}
+				if _, visible := p.Schema.View(peer, dst); visible {
+					continue
+				}
+				if g.edges[src] == nil {
+					g.edges[src] = make(map[string]bool)
+				}
+				g.edges[src][dst] = true
+			}
+		}
+	}
+	return g
+}
+
+// Edges returns the sorted edge list.
+func (g *PGraph) Edges() [][2]string {
+	var out [][2]string
+	for src, dsts := range g.edges {
+		for dst := range dsts {
+			out = append(out, [2]string{src, dst})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Acyclic reports whether the program is p-acyclic: for every relation R
+// visible at the peer, the subgraph induced by the nodes reachable from R
+// is acyclic. If not, it returns a cycle witness.
+func (g *PGraph) Acyclic(s *schema.Collaborative) (bool, []string) {
+	for _, name := range s.DB.Names() {
+		if _, visible := s.View(g.Peer, name); !visible {
+			continue
+		}
+		if cycle := g.findCycleFrom(name); cycle != nil {
+			return false, cycle
+		}
+	}
+	return true, nil
+}
+
+// findCycleFrom performs a DFS from start and returns a cycle among the
+// reachable nodes, if any.
+func (g *PGraph) findCycleFrom(start string) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	var cycle []string
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		color[n] = gray
+		stack = append(stack, n)
+		for dst := range g.edges[n] {
+			switch color[dst] {
+			case gray:
+				// Extract the cycle from the stack.
+				for i, v := range stack {
+					if v == dst {
+						cycle = append([]string{}, stack[i:]...)
+						return true
+					}
+				}
+				cycle = []string{dst}
+				return true
+			case white:
+				if dfs(dst) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	if dfs(start) {
+		return cycle
+	}
+	return nil
+}
+
+// LongestPathFrom returns the length (in edges) of the longest path from
+// the node; it must only be called on acyclic reachable subgraphs.
+func (g *PGraph) LongestPathFrom(n string) int {
+	memo := make(map[string]int)
+	var rec func(string) int
+	rec = func(m string) int {
+		if v, ok := memo[m]; ok {
+			return v
+		}
+		best := 0
+		for dst := range g.edges[m] {
+			if d := rec(dst) + 1; d > best {
+				best = d
+			}
+		}
+		memo[m] = best
+		return best
+	}
+	return rec(n)
+}
+
+// AcyclicBound computes the h-boundedness guarantee of Theorem 6.3 for a
+// linear-head program satisfying (C1): if the program is p-acyclic it is
+// h-bounded for p with h = (ab+1)^d, where b is the maximum number of facts
+// in a rule body, d = |D|, and a is the maximum relation arity plus one.
+// It returns an error if the hypotheses fail.
+func AcyclicBound(p *program.Program, peer schema.Peer) (int, error) {
+	if !IsLinearHead(p) {
+		return 0, fmt.Errorf("design: Theorem 6.3 requires a linear-head program")
+	}
+	if err := CheckC1(p, peer); err != nil {
+		return 0, err
+	}
+	g := NewPGraph(p, peer)
+	ok, cycle := g.Acyclic(p.Schema)
+	if !ok {
+		return 0, fmt.Errorf("design: program is not %s-acyclic: cycle %v", peer, cycle)
+	}
+	b := p.MaxBodyAtoms()
+	d := p.Schema.DB.Size()
+	a := p.Schema.DB.MaxArity() + 1
+	bound := math.Pow(float64(a*b+1), float64(d))
+	if bound > math.MaxInt32 {
+		return math.MaxInt32, nil
+	}
+	return int(bound), nil
+}

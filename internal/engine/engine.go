@@ -1,0 +1,74 @@
+// Package engine provides run drivers: deterministic scripts and seeded
+// random exploration of a workflow program's reachable runs. Drivers
+// produce program.Run values, the input of every explanation algorithm.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"collabwf/internal/data"
+	"collabwf/internal/program"
+	"collabwf/internal/schema"
+)
+
+// Script is a deterministic sequence of rule firings.
+type Script []ScriptStep
+
+// ScriptStep names a rule and binds (some of) its body variables; head-only
+// variables are bound to fresh values automatically.
+type ScriptStep struct {
+	Rule     string
+	Bindings map[string]string
+}
+
+// Play executes the script on a new run of p from the empty instance.
+func Play(p *program.Program, s Script) (*program.Run, error) {
+	return PlayFrom(p, schema.NewInstance(p.Schema.DB), s)
+}
+
+// PlayFrom executes the script on a new run of p from the given instance.
+func PlayFrom(p *program.Program, initial *schema.Instance, s Script) (*program.Run, error) {
+	r := program.NewRunFrom(p, initial)
+	for i, step := range s {
+		bindings := make(map[string]data.Value, len(step.Bindings))
+		for k, v := range step.Bindings {
+			bindings[k] = data.Value(v)
+		}
+		if _, err := r.FireRule(step.Rule, bindings); err != nil {
+			return nil, fmt.Errorf("engine: script step %d (%s): %w", i, step.Rule, err)
+		}
+	}
+	return r, nil
+}
+
+// RandomRun drives p for at most steps events, choosing uniformly among the
+// applicable candidates with the given seed. It stops early when no rule is
+// applicable. candidateCap bounds the valuations enumerated per rule (0 = no
+// cap).
+func RandomRun(p *program.Program, steps int, seed int64, candidateCap int) (*program.Run, error) {
+	return RandomRunFrom(p, schema.NewInstance(p.Schema.DB), steps, seed, candidateCap)
+}
+
+// RandomRunFrom is RandomRun from an arbitrary initial instance.
+func RandomRunFrom(p *program.Program, initial *schema.Instance, steps int, seed int64, candidateCap int) (*program.Run, error) {
+	r := program.NewRunFrom(p, initial)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		cands := r.Candidates(candidateCap)
+		// Candidates have satisfiable bodies but their updates may fail;
+		// try in random order until one fires.
+		rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+		fired := false
+		for _, c := range cands {
+			if _, err := r.Fire(c); err == nil {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			break
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,127 @@
+package faithful
+
+import (
+	"collabwf/internal/program"
+	"collabwf/internal/schema"
+)
+
+// mainID is the pseudo set id of the maintained minimal faithful scenario
+// in the lifecycle reference index.
+const mainID = -1
+
+// Maintainer incrementally maintains the minimal p-faithful scenario of a
+// growing run, as outlined at the end of Section 4 of the paper. Besides
+// T_p^ω(ρ, α) for the visible events α, it maintains T_p^ω(ρ, {f}) for
+// every event f — a minimal boundary- and modification-faithful explanation
+// of the individual event. Each new event costs a single application of the
+// T_p operator plus set unions, instead of a fixpoint recomputation over
+// the whole run.
+type Maintainer struct {
+	p schema.Peer
+	a *Analysis
+
+	perEvent []Seq
+	main     Seq
+	// refs[lc] is the set of set-ids (event indices, or mainID) whose
+	// closure references a key of the currently open lifecycle lc; when
+	// an event closes the lifecycle, those closures must absorb it.
+	refs map[lcID]map[int]bool
+
+	processed int
+}
+
+// NewMaintainer builds a maintainer for p over r, replaying any events
+// already in r through the incremental algorithm.
+func NewMaintainer(r *program.Run, p schema.Peer) *Maintainer {
+	m := &Maintainer{
+		p:    p,
+		a:    NewAnalysisPartial(r),
+		main: NewSeq(),
+		refs: make(map[lcID]map[int]bool),
+	}
+	m.Sync()
+	return m
+}
+
+// Sync processes events appended to the run since the last call.
+func (m *Maintainer) Sync() {
+	for i := m.processed; i < m.a.Run.Len(); i++ {
+		m.a.SyncTo(i + 1)
+		m.processOne(i)
+		m.processed++
+	}
+}
+
+// Minimal returns (a copy of) the current minimal p-faithful scenario
+// T_p^ω(ρ, α).
+func (m *Maintainer) Minimal() Seq { return m.main.Clone() }
+
+// Explanation returns (a copy of) T_p^ω(ρ, {f}) for event f: the minimal
+// boundary- and modification-p-faithful subsequence containing f.
+func (m *Maintainer) Explanation(f int) Seq { return m.perEvent[f].Clone() }
+
+// Len returns the number of events processed.
+func (m *Maintainer) Len() int { return m.processed }
+
+func (m *Maintainer) processOne(n int) {
+	// (i) f = e: the closure of the new event is e plus the closures of
+	// its direct requirements T_p(ρ.e, {e}) \ {e}.
+	direct := Step(m.a, NewSeq(n), m.p)
+	sn := NewSeq(n)
+	for g := range direct {
+		if g == n {
+			continue
+		}
+		sn = Add(sn, m.perEvent[g])
+	}
+	m.perEvent = append(m.perEvent, sn)
+	m.register(n, sn)
+
+	// (i) f ≠ e and (ii) α: closures referencing a key of a lifecycle that
+	// e just closed must absorb e's closure.
+	for _, ef := range m.a.Run.Effects(n) {
+		if ef.Kind != program.Deleted {
+			continue
+		}
+		id := lcID{ef.Rel, ef.Key}
+		for setID := range m.refs[id] {
+			if setID == mainID {
+				m.main = Add(m.main, sn)
+				m.register(mainID, sn)
+			} else if setID != n {
+				m.perEvent[setID] = Add(m.perEvent[setID], sn)
+				m.register(setID, sn)
+			}
+		}
+		delete(m.refs, id)
+	}
+
+	// (ii) α: a visible event joins the maintained scenario with its
+	// closure.
+	if m.a.Run.VisibleAt(n, m.p) {
+		m.main = Add(m.main, sn)
+		m.register(mainID, sn)
+	}
+}
+
+// register records, for every event of set, the open lifecycles whose keys
+// it references, so the closure identified by setID absorbs their eventual
+// right boundaries.
+func (m *Maintainer) register(setID int, set Seq) {
+	for g := range set {
+		e := m.a.Run.Event(g)
+		for _, rel := range e.KeyRelations() {
+			for _, k := range e.KeysOf(rel) {
+				lc, ok := m.a.LifecycleAt(rel, k, g)
+				if !ok || lc.Closed() {
+					continue
+				}
+				id := lcID{rel, k}
+				if m.refs[id] == nil {
+					m.refs[id] = make(map[int]bool)
+				}
+				m.refs[id][setID] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package faithful
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"collabwf/internal/schema"
+	"collabwf/internal/workload"
+)
+
+// seqFromMask builds a Seq over [0, n) from a bitmask.
+func seqFromMask(mask uint16, n int) Seq {
+	s := NewSeq()
+	for i := 0; i < n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// Semiring laws of Add/Mul on arbitrary index sets (they are set union and
+// intersection, but the laws are what Theorem 4.8 needs, so they are
+// pinned by property tests).
+func TestSeqSemiringLaws(t *testing.T) {
+	const n = 12
+	f := func(am, bm, cm uint16) bool {
+		a, b, c := seqFromMask(am, n), seqFromMask(bm, n), seqFromMask(cm, n)
+		// Commutativity.
+		if !Add(a, b).Equal(Add(b, a)) || !Mul(a, b).Equal(Mul(b, a)) {
+			return false
+		}
+		// Associativity.
+		if !Add(Add(a, b), c).Equal(Add(a, Add(b, c))) {
+			return false
+		}
+		if !Mul(Mul(a, b), c).Equal(Mul(a, Mul(b, c))) {
+			return false
+		}
+		// Idempotence.
+		if !Add(a, a).Equal(a) || !Mul(a, a).Equal(a) {
+			return false
+		}
+		// Distributivity.
+		if !Mul(a, Add(b, c)).Equal(Add(Mul(a, b), Mul(a, c))) {
+			return false
+		}
+		// Additive identity.
+		if !Add(a, NewSeq()).Equal(a) {
+			return false
+		}
+		// Absorption-style monotonicity: a ⊑ a+b and a·b ⊑ a.
+		return a.SubseqOf(Add(a, b)) && Mul(a, b).SubseqOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The fixpoint operator is a closure operator: extensive, monotone and
+// idempotent (these three properties drive Theorem 4.7's uniqueness
+// argument).
+func TestFixpointIsClosureOperator(t *testing.T) {
+	runs := []func() *Analysis{
+		func() *Analysis { _, r := workload.Approval(); return NewAnalysis(r) },
+		func() *Analysis {
+			_, r, err := workload.HittingSet(workload.HittingSetInstance{N: 3, Sets: [][]int{{0, 1}, {1, 2}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewAnalysis(r)
+		},
+	}
+	peers := [][]schema.Peer{{"applicant", "cto"}, {"p", "q"}}
+	rng := rand.New(rand.NewSource(5))
+	for ri, mk := range runs {
+		a := mk()
+		n := a.Run.Len()
+		for _, p := range peers[ri] {
+			for trial := 0; trial < 60; trial++ {
+				alpha := NewSeq()
+				beta := NewSeq()
+				for i := 0; i < n; i++ {
+					if rng.Intn(2) == 0 {
+						alpha.Add(i)
+					}
+					if rng.Intn(2) == 0 {
+						beta.Add(i)
+					}
+				}
+				// Make beta ⊒ alpha for the monotonicity check.
+				beta = Add(beta, alpha)
+				fa, fb := Fixpoint(a, alpha, p), Fixpoint(a, beta, p)
+				if !alpha.SubseqOf(fa) {
+					t.Fatalf("not extensive: %v ⋢ %v", alpha, fa)
+				}
+				if !fa.SubseqOf(fb) {
+					t.Fatalf("not monotone: F(%v)=%v ⋢ F(%v)=%v", alpha, fa, beta, fb)
+				}
+				if !Fixpoint(a, fa, p).Equal(fa) {
+					t.Fatalf("not idempotent on %v", alpha)
+				}
+			}
+		}
+	}
+}
+
+// Every fixpoint that contains the visible events is a faithful scenario,
+// and the minimal one is contained in all of them (Theorem 4.7).
+func TestFixpointYieldsFaithfulScenarios(t *testing.T) {
+	_, r, err := workload.HittingSet(workload.HittingSetInstance{N: 3, Sets: [][]int{{0, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalysis(r)
+	p := schema.Peer("p")
+	min, _, err := Minimal(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visible := NewSeq(r.VisibleEvents(p)...)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		seed := visible.Clone()
+		for i := 0; i < r.Len(); i++ {
+			if rng.Intn(2) == 0 {
+				seed.Add(i)
+			}
+		}
+		f := Fixpoint(a, seed, p)
+		if !IsFaithfulScenario(a, f, p) {
+			t.Fatalf("fixpoint %v of %v is not a faithful scenario", f, seed)
+		}
+		if !min.SubseqOf(f) {
+			t.Fatalf("minimal %v not contained in %v", min, f)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package faithful
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Seq is a subsequence of a run's events, represented by the set of their
+// indices (the order is inherited from the run, so a set suffices).
+type Seq map[int]struct{}
+
+// NewSeq builds a sequence from event indices.
+func NewSeq(indices ...int) Seq {
+	s := make(Seq, len(indices))
+	for _, i := range indices {
+		s[i] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Seq) Has(i int) bool {
+	_, ok := s[i]
+	return ok
+}
+
+// Add inserts index i and reports whether it was absent.
+func (s Seq) Add(i int) bool {
+	if _, ok := s[i]; ok {
+		return false
+	}
+	s[i] = struct{}{}
+	return true
+}
+
+// Clone copies the sequence.
+func (s Seq) Clone() Seq {
+	out := make(Seq, len(s))
+	for i := range s {
+		out[i] = struct{}{}
+	}
+	return out
+}
+
+// Len returns the number of events.
+func (s Seq) Len() int { return len(s) }
+
+// Sorted returns the indices in run order.
+func (s Seq) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for i := range s {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Equal reports set equality.
+func (s Seq) Equal(other Seq) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i := range s {
+		if !other.Has(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubseqOf reports whether s is a subsequence of other (s ⊑ other).
+func (s Seq) SubseqOf(other Seq) bool {
+	for i := range s {
+		if !other.Has(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Add is the semiring addition of Theorem 4.8: the union of the events of
+// the two subsequences. The empty sequence ε is the additive identity.
+func Add(a, b Seq) Seq {
+	out := a.Clone()
+	for i := range b {
+		out[i] = struct{}{}
+	}
+	return out
+}
+
+// Mul is the semiring multiplication of Theorem 4.8: the intersection of
+// the events of the two subsequences. The full run is the multiplicative
+// identity.
+func Mul(a, b Seq) Seq {
+	small, big := a, b
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	out := make(Seq)
+	for i := range small {
+		if big.Has(i) {
+			out[i] = struct{}{}
+		}
+	}
+	return out
+}
+
+// String renders the sequence as its sorted indices.
+func (s Seq) String() string {
+	idx := s.Sorted()
+	parts := make([]string, len(idx))
+	for i, v := range idx {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,249 @@
+// Package parse implements a concrete syntax for collaborative workflow
+// specifications, used by the command-line tools. A spec declares the
+// global relations, the peer views (projections with optional selections),
+// and the datalog-style update rules:
+//
+//	workflow Hiring
+//
+//	relation Cleared(K)
+//	relation Doc(K, Author, Status)
+//
+//	peer hr {
+//	    view Cleared(K)
+//	    view Doc(K, Author) where Status = "pub"
+//	}
+//
+//	rule clear at hr:
+//	    +Cleared(x) :- true
+//
+//	rule publish at hr:
+//	    +Doc(d, a, "pub") :- Doc(d, a, null), not key Cleared(d), d != a
+//
+// Identifiers in rule bodies and heads are variables; quoted strings are
+// constants; null is ⊥. In view selections identifiers are attributes.
+package parse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokColon
+	tokColonDash // :-
+	tokPlus
+	tokMinus
+	tokEq
+	tokNeq
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokColonDash:
+		return "':-'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer splits the input into tokens; # starts a line comment.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	start := l.line
+	c := l.src[l.pos]
+	switch c {
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case '+':
+		l.pos++
+		return token{tokPlus, "+", start}, nil
+	case '-':
+		l.pos++
+		return token{tokMinus, "-", start}, nil
+	case '=':
+		l.pos++
+		return token{tokEq, "=", start}, nil
+	case ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			l.pos += 2
+			return token{tokColonDash, ":-", start}, nil
+		}
+		l.pos++
+		return token{tokColon, ":", start}, nil
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokNeq, "!=", start}, nil
+		}
+		return token{}, l.errorf("unexpected '!'")
+	case '"':
+		return l.scanString()
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if isIdentStart(r) {
+		return l.scanIdent()
+	}
+	return token{}, l.errorf("unexpected character %q", r)
+}
+
+func (l *lexer) scanString() (token, error) {
+	start := l.line
+	var b strings.Builder
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{tokString, b.String(), start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errorf("unterminated escape")
+			}
+			l.pos++
+			switch esc := l.src[l.pos]; esc {
+			case '"', '\\':
+				b.WriteByte(esc)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return token{}, l.errorf("unknown escape \\%c", esc)
+			}
+			l.pos++
+		case '\n':
+			return token{}, l.errorf("unterminated string")
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errorf("unterminated string")
+}
+
+func (l *lexer) scanIdent() (token, error) {
+	start := l.line
+	begin := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	return token{tokIdent, l.src[begin:l.pos], start}, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}
+
+// lex tokenizes the whole input.
+func lex(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,531 @@
+package parse
+
+import (
+	"fmt"
+
+	"collabwf/internal/cond"
+	"collabwf/internal/data"
+	"collabwf/internal/program"
+	"collabwf/internal/query"
+	"collabwf/internal/rule"
+	"collabwf/internal/schema"
+)
+
+// Spec is a parsed workflow specification.
+type Spec struct {
+	Name    string
+	Program *program.Program
+}
+
+// Parse parses a workflow specification and builds the validated program.
+func Parse(src string) (*Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	p := &parser{toks: toks}
+	return p.spec()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return fmt.Errorf("parse: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.advance()
+	if t.kind != kind {
+		return t, p.errorf(t, "expected %s, got %q", kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.advance()
+	if t.kind != tokIdent || t.text != kw {
+		return p.errorf(t, "expected %q, got %q", kw, t.text)
+	}
+	return nil
+}
+
+// declared carries the schema being built.
+type declared struct {
+	rels  []*schema.Relation
+	views []*schema.View
+	rules []*parsedRule
+}
+
+type parsedRule struct {
+	name string
+	peer schema.Peer
+	head []rule.Update
+	body query.Query
+}
+
+func (p *parser) spec() (*Spec, error) {
+	if err := p.expectKeyword("workflow"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &declared{}
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, p.errorf(t, "expected a declaration, got %q", t.text)
+		}
+		switch t.text {
+		case "relation":
+			if err := p.relation(d); err != nil {
+				return nil, err
+			}
+		case "peer":
+			if err := p.peerBlock(d); err != nil {
+				return nil, err
+			}
+		case "rule":
+			if err := p.ruleDecl(d); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf(t, "unknown declaration %q", t.text)
+		}
+	}
+	return assemble(nameTok.text, d)
+}
+
+func assemble(name string, d *declared) (*Spec, error) {
+	db, err := schema.NewDatabase(d.rels...)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	collab := schema.NewCollaborative(db)
+	for _, v := range d.views {
+		if err := collab.AddView(v); err != nil {
+			return nil, fmt.Errorf("parse: %w", err)
+		}
+	}
+	var rules []*rule.Rule
+	for _, pr := range d.rules {
+		rules = append(rules, &rule.Rule{Name: pr.name, Peer: pr.peer, Head: pr.head, Body: pr.body})
+	}
+	prog, err := program.New(collab, rules)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return &Spec{Name: name, Program: prog}, nil
+}
+
+func (p *parser) relation(d *declared) error {
+	p.advance() // relation
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	attrs, err := p.attrList()
+	if err != nil {
+		return err
+	}
+	rel, err := schema.NewRelation(name.text, attrs...)
+	if err != nil {
+		return p.errorf(name, "%v", err)
+	}
+	d.rels = append(d.rels, rel)
+	return nil
+}
+
+// attrList parses "(" IDENT ("," IDENT)* ")".
+func (p *parser) attrList() ([]data.Attr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var out []data.Attr
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data.Attr(t.text))
+		sep := p.advance()
+		switch sep.kind {
+		case tokComma:
+			continue
+		case tokRParen:
+			return out, nil
+		default:
+			return nil, p.errorf(sep, "expected ',' or ')', got %q", sep.text)
+		}
+	}
+}
+
+func (p *parser) peerBlock(d *declared) error {
+	p.advance() // peer
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	relOf := func(n string) *schema.Relation {
+		for _, r := range d.rels {
+			if r.Name == n {
+				return r
+			}
+		}
+		return nil
+	}
+	for {
+		t := p.advance()
+		if t.kind == tokRBrace {
+			return nil
+		}
+		if t.kind != tokIdent || t.text != "view" {
+			return p.errorf(t, "expected 'view' or '}', got %q", t.text)
+		}
+		relTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		rel := relOf(relTok.text)
+		if rel == nil {
+			return p.errorf(relTok, "view of undeclared relation %q", relTok.text)
+		}
+		attrs, err := p.attrList()
+		if err != nil {
+			return err
+		}
+		var sel cond.Condition = cond.True{}
+		if p.peek().kind == tokIdent && p.peek().text == "where" {
+			p.advance()
+			sel, err = p.condition()
+			if err != nil {
+				return err
+			}
+		}
+		v, err := schema.NewView(rel, schema.Peer(name.text), attrs, sel)
+		if err != nil {
+			return p.errorf(relTok, "%v", err)
+		}
+		d.views = append(d.views, v)
+	}
+}
+
+// condition parses an or-expression over selection atoms.
+func (p *parser) condition() (cond.Condition, error) {
+	return p.condOr()
+}
+
+func (p *parser) condOr() (cond.Condition, error) {
+	left, err := p.condAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []cond.Condition{left}
+	for p.peek().kind == tokIdent && p.peek().text == "or" {
+		p.advance()
+		next, err := p.condAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return cond.Or{Cs: parts}, nil
+}
+
+func (p *parser) condAnd() (cond.Condition, error) {
+	left, err := p.condUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []cond.Condition{left}
+	for p.peek().kind == tokIdent && p.peek().text == "and" {
+		p.advance()
+		next, err := p.condUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return cond.And{Cs: parts}, nil
+}
+
+func (p *parser) condUnary() (cond.Condition, error) {
+	t := p.peek()
+	if t.kind == tokIdent && t.text == "not" {
+		p.advance()
+		inner, err := p.condUnary()
+		if err != nil {
+			return nil, err
+		}
+		return cond.Not{C: inner}, nil
+	}
+	if t.kind == tokLParen {
+		p.advance()
+		inner, err := p.condOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	if t.kind == tokIdent && t.text == "true" {
+		p.advance()
+		return cond.True{}, nil
+	}
+	if t.kind == tokIdent && t.text == "false" {
+		p.advance()
+		return cond.False{}, nil
+	}
+	return p.condAtom()
+}
+
+// condAtom parses Attr (=|!=) (Attr | STRING | null).
+func (p *parser) condAtom() (cond.Condition, error) {
+	lhs, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	op := p.advance()
+	if op.kind != tokEq && op.kind != tokNeq {
+		return nil, p.errorf(op, "expected '=' or '!=', got %q", op.text)
+	}
+	rhs := p.advance()
+	var base cond.Condition
+	switch rhs.kind {
+	case tokIdent:
+		if rhs.text == "null" {
+			base = cond.EqConst{Attr: data.Attr(lhs.text), Const: data.Null}
+		} else {
+			base = cond.EqAttr{A: data.Attr(lhs.text), B: data.Attr(rhs.text)}
+		}
+	case tokString:
+		base = cond.EqConst{Attr: data.Attr(lhs.text), Const: data.Value(rhs.text)}
+	default:
+		return nil, p.errorf(rhs, "expected an attribute, string or null, got %q", rhs.text)
+	}
+	if op.kind == tokNeq {
+		return cond.Not{C: base}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) ruleDecl(d *declared) error {
+	p.advance() // rule
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("at"); err != nil {
+		return err
+	}
+	peer, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return err
+	}
+	pr := &parsedRule{name: name.text, peer: schema.Peer(peer.text)}
+	// Head updates, comma separated, until ':-'.
+	for {
+		u, err := p.update()
+		if err != nil {
+			return err
+		}
+		pr.head = append(pr.head, u)
+		sep := p.advance()
+		if sep.kind == tokComma {
+			continue
+		}
+		if sep.kind == tokColonDash {
+			break
+		}
+		return p.errorf(sep, "expected ',' or ':-', got %q", sep.text)
+	}
+	// Body: 'true' or literals, comma separated, until the next
+	// declaration keyword or EOF.
+	if p.peek().kind == tokIdent && p.peek().text == "true" && !p.literalAhead() {
+		p.advance()
+		d.rules = append(d.rules, pr)
+		return nil
+	}
+	for {
+		l, err := p.literal()
+		if err != nil {
+			return err
+		}
+		pr.body = append(pr.body, l)
+		if p.peek().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	d.rules = append(d.rules, pr)
+	return nil
+}
+
+// literalAhead reports whether the upcoming 'true' token is actually the
+// start of a literal (i.e., a relation named true — disallowed in practice,
+// but keep the lookahead honest: 'true' followed by '(' is an atom).
+func (p *parser) literalAhead() bool {
+	return p.toks[p.pos+1].kind == tokLParen
+}
+
+func (p *parser) update() (rule.Update, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokPlus:
+		relTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.termList()
+		if err != nil {
+			return nil, err
+		}
+		return rule.Insert{Rel: relTok.text, Args: args}, nil
+	case tokMinus:
+		relTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.termList()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, p.errorf(relTok, "deletion takes exactly the key")
+		}
+		return rule.Delete{Rel: relTok.text, Key: args[0]}, nil
+	default:
+		return nil, p.errorf(t, "expected '+' or '-', got %q", t.text)
+	}
+}
+
+// literal parses one body literal:
+//
+//	R(t, ...) | not R(t, ...) | key R(t) | not key R(t) | t = t | t != t
+func (p *parser) literal() (query.Literal, error) {
+	neg := false
+	if p.peek().kind == tokIdent && p.peek().text == "not" {
+		p.advance()
+		neg = true
+	}
+	if p.peek().kind == tokIdent && p.peek().text == "key" && p.toks[p.pos+1].kind == tokIdent {
+		p.advance()
+		relTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.termList()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, p.errorf(relTok, "key literal takes exactly one term")
+		}
+		return query.KeyAtom{Neg: neg, Rel: relTok.text, Arg: args[0]}, nil
+	}
+	// Either an atom R(...) or a comparison t op t.
+	first := p.advance()
+	switch first.kind {
+	case tokIdent:
+		if first.text == "null" {
+			return p.comparisonAfter(query.C(data.Null), neg, first)
+		}
+		if p.peek().kind == tokLParen {
+			args, err := p.termList()
+			if err != nil {
+				return nil, err
+			}
+			return query.Atom{Neg: neg, Rel: first.text, Args: args}, nil
+		}
+		return p.comparisonAfter(query.V(first.text), neg, first)
+	case tokString:
+		return p.comparisonAfter(query.C(data.Value(first.text)), neg, first)
+	default:
+		return nil, p.errorf(first, "expected a literal, got %q", first.text)
+	}
+}
+
+func (p *parser) comparisonAfter(lhs query.Term, neg bool, at token) (query.Literal, error) {
+	op := p.advance()
+	if op.kind != tokEq && op.kind != tokNeq {
+		return nil, p.errorf(op, "expected '=' or '!=' after %q", at.text)
+	}
+	rhs, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	cmp := query.Compare{Neg: op.kind == tokNeq, L: lhs, R: rhs}
+	if neg {
+		cmp.Neg = !cmp.Neg
+	}
+	return cmp, nil
+}
+
+func (p *parser) termList() ([]query.Term, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var out []query.Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		sep := p.advance()
+		switch sep.kind {
+		case tokComma:
+			continue
+		case tokRParen:
+			return out, nil
+		default:
+			return nil, p.errorf(sep, "expected ',' or ')', got %q", sep.text)
+		}
+	}
+}
+
+func (p *parser) term() (query.Term, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokIdent:
+		if t.text == "null" {
+			return query.C(data.Null), nil
+		}
+		return query.V(t.text), nil
+	case tokString:
+		return query.C(data.Value(t.text)), nil
+	default:
+		return query.Term{}, p.errorf(t, "expected a term, got %q", t.text)
+	}
+}

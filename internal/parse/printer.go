@@ -1,0 +1,150 @@
+package parse
+
+import (
+	"fmt"
+	"strings"
+
+	"collabwf/internal/cond"
+	"collabwf/internal/program"
+	"collabwf/internal/query"
+	"collabwf/internal/rule"
+)
+
+// Print renders a program back into the surface syntax accepted by Parse.
+// Parse(Print(p)) reconstructs an equivalent program (round-trip tested).
+func Print(name string, p *program.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workflow %s\n\n", sanitizeIdent(name))
+
+	db := p.Schema.DB
+	for _, rn := range db.Names() {
+		rel := db.Relation(rn)
+		attrs := make([]string, len(rel.Attrs))
+		for i, a := range rel.Attrs {
+			attrs[i] = string(a)
+		}
+		fmt.Fprintf(&b, "relation %s(%s)\n", rn, strings.Join(attrs, ", "))
+	}
+	b.WriteString("\n")
+
+	for _, peer := range p.Schema.Peers() {
+		fmt.Fprintf(&b, "peer %s {\n", peer)
+		for _, v := range p.Schema.ViewsAt(peer) {
+			attrs := make([]string, len(v.Attrs))
+			for i, a := range v.Attrs {
+				attrs[i] = string(a)
+			}
+			fmt.Fprintf(&b, "    view %s(%s)", v.Rel.Name, strings.Join(attrs, ", "))
+			if _, isTrue := v.Selection.(cond.True); !isTrue {
+				fmt.Fprintf(&b, " where %s", v.Selection)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("}\n\n")
+	}
+
+	for _, r := range p.Rules() {
+		heads := make([]string, len(r.Head))
+		for i, u := range r.Head {
+			heads[i] = printUpdate(u)
+		}
+		body := "true"
+		if len(r.Body) > 0 {
+			parts := make([]string, len(r.Body))
+			for i, l := range r.Body {
+				parts[i] = printLiteral(l)
+			}
+			body = strings.Join(parts, ", ")
+		}
+		fmt.Fprintf(&b, "rule %s at %s:\n    %s :- %s\n\n", sanitizeIdent(r.Name), r.Peer, strings.Join(heads, ", "), body)
+	}
+	return b.String()
+}
+
+// sanitizeIdent maps arbitrary rule/workflow names onto the identifier
+// grammar (programmatic transformations produce names with '#' etc.).
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		if isIdentPart(c) && (i > 0 || isIdentStart(c)) {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func printUpdate(u rule.Update) string {
+	switch u := u.(type) {
+	case rule.Insert:
+		args := make([]string, len(u.Args))
+		for i, t := range u.Args {
+			args[i] = t.String()
+		}
+		return fmt.Sprintf("+%s(%s)", u.Rel, strings.Join(args, ", "))
+	case rule.Delete:
+		return fmt.Sprintf("-%s(%s)", u.Rel, u.Key)
+	}
+	return ""
+}
+
+func printLiteral(l query.Literal) string {
+	switch l := l.(type) {
+	case query.Atom:
+		args := make([]string, len(l.Args))
+		for i, t := range l.Args {
+			args[i] = t.String()
+		}
+		s := fmt.Sprintf("%s(%s)", l.Rel, strings.Join(args, ", "))
+		if l.Neg {
+			return "not " + s
+		}
+		return s
+	case query.KeyAtom:
+		s := fmt.Sprintf("key %s(%s)", l.Rel, l.Arg)
+		if l.Neg {
+			return "not " + s
+		}
+		return s
+	case query.Compare:
+		op := "="
+		if l.Neg {
+			op = "!="
+		}
+		return fmt.Sprintf("%s %s %s", l.L, op, l.R)
+	}
+	return ""
+}
+
+// MustParse parses a spec, panicking on error; for tests and examples.
+func MustParse(src string) *Spec {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RoundTrip re-parses the printed form of a program; tools use it to verify
+// that a transformed program is expressible in the surface syntax.
+func RoundTrip(name string, p *program.Program) (*program.Program, error) {
+	spec, err := Parse(Print(name, p))
+	if err != nil {
+		return nil, err
+	}
+	return spec.Program, nil
+}
+
+// PeerNames lists the peers of a spec's program as strings.
+func PeerNames(p *program.Program) []string {
+	peers := p.Schema.Peers()
+	out := make([]string, len(peers))
+	for i, q := range peers {
+		out[i] = string(q)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package parse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The parser never panics: on random garbage, on truncations of a valid
+// spec, and on random single-byte corruptions it returns an error or a
+// valid program.
+func TestParserRobustness(t *testing.T) {
+	valid := hiringSrc
+	rng := rand.New(rand.NewSource(99))
+
+	check := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", src, r)
+			}
+		}()
+		spec, err := Parse(src)
+		if err == nil && spec.Program == nil {
+			t.Fatalf("nil program without error for %q", src)
+		}
+	}
+
+	// Truncations.
+	for i := 0; i < len(valid); i += 7 {
+		check(valid[:i])
+	}
+	// Single-byte corruptions.
+	bytes := []byte(valid)
+	for trial := 0; trial < 300; trial++ {
+		pos := rng.Intn(len(bytes))
+		old := bytes[pos]
+		bytes[pos] = byte(rng.Intn(256))
+		check(string(bytes))
+		bytes[pos] = old
+	}
+	// Pure garbage.
+	alphabet := "workflow relation peer rule view where not key null true {}():-+-=!\"abc\n"
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(120)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		check(b.String())
+	}
+	// Non-UTF8 noise.
+	check("workflow W\xff\xfe")
+	check(string([]byte{0xCF})) // lone first byte of ω
+	// Unicode identifiers are fine.
+	if _, err := Parse("workflow Ω\nrelation R(K)\npeer ω { view R(K) }\nrule ρ at ω: +R(x) :- true"); err != nil {
+		t.Fatalf("unicode identifiers must parse: %v", err)
+	}
+}
+
+// Deeply nested selection conditions don't blow the stack unreasonably and
+// parse correctly.
+func TestDeepConditionNesting(t *testing.T) {
+	depth := 200
+	cond := strings.Repeat("not (", depth) + `A = "x"` + strings.Repeat(")", depth)
+	src := "workflow W\nrelation R(K, A)\npeer p { view R(K, A) where " + cond + " }\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

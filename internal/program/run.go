@@ -1,0 +1,309 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"collabwf/internal/data"
+	"collabwf/internal/query"
+	"collabwf/internal/rule"
+	"collabwf/internal/schema"
+)
+
+// Step is one transition of a run: the event together with the instance it
+// produced and the recorded effects.
+type Step struct {
+	Event    *Event
+	Instance *schema.Instance
+	Effects  []Effect
+}
+
+// Run is a run of a program: a sequence of steps starting from an initial
+// instance (the empty instance unless constructed with NewRunFrom). The run
+// enforces the freshness condition on head-only variables.
+//
+// A Run is not safe for concurrent use; the server package's Coordinator
+// serializes concurrent peers onto one run.
+type Run struct {
+	Prog    *Program
+	Initial *schema.Instance
+	Steps   []Step
+
+	consts data.ValueSet // const(P)
+	seen   data.ValueSet // values of the initial and all later instances
+	fresh  *data.FreshSource
+	views  map[viewKey]*schema.ViewInstance
+}
+
+type viewKey struct {
+	step int
+	peer schema.Peer
+}
+
+// NewRun starts a run of p from the empty instance.
+func NewRun(p *Program) *Run {
+	return NewRunFrom(p, schema.NewInstance(p.Schema.DB))
+}
+
+// NewRunFrom starts a run of p from an arbitrary initial instance.
+func NewRunFrom(p *Program, initial *schema.Instance) *Run {
+	r := &Run{
+		Prog:    p,
+		Initial: initial.Clone(),
+		consts:  p.Constants(),
+		seen:    data.NewValueSet(),
+		fresh:   data.NewFreshSource("ν"),
+		views:   make(map[viewKey]*schema.ViewInstance),
+	}
+	r.seen.AddAll(initial.ADom())
+	return r
+}
+
+// Len returns the number of events in the run.
+func (r *Run) Len() int { return len(r.Steps) }
+
+// Event returns the i-th event (0-based).
+func (r *Run) Event(i int) *Event { return r.Steps[i].Event }
+
+// Events returns the event sequence e(ρ).
+func (r *Run) Events() []*Event {
+	out := make([]*Event, len(r.Steps))
+	for i, s := range r.Steps {
+		out[i] = s.Event
+	}
+	return out
+}
+
+// Effects returns the effects of the i-th event.
+func (r *Run) Effects(i int) []Effect { return r.Steps[i].Effects }
+
+// InstanceAt returns I_i, the instance after event i; InstanceAt(-1) is the
+// initial instance.
+func (r *Run) InstanceAt(i int) *schema.Instance {
+	if i < 0 {
+		return r.Initial
+	}
+	return r.Steps[i].Instance
+}
+
+// Current returns the latest instance of the run.
+func (r *Run) Current() *schema.Instance { return r.InstanceAt(len(r.Steps) - 1) }
+
+// ViewAt returns I_i@p (memoized); i may be -1 for the initial instance.
+func (r *Run) ViewAt(i int, p schema.Peer) *schema.ViewInstance {
+	k := viewKey{i, p}
+	if v, ok := r.views[k]; ok {
+		return v
+	}
+	v := schema.ViewOf(r.InstanceAt(i), r.Prog.Schema, p)
+	r.views[k] = v
+	return v
+}
+
+// VisibleAt reports whether event i is visible at peer p: either p performed
+// it, or it changed p's view of the database (Section 3). The check is
+// effect-local: relations the event did not touch cannot change any view,
+// so only the affected tuples' visibility and projections are compared.
+func (r *Run) VisibleAt(i int, p schema.Peer) bool {
+	e := r.Steps[i].Event
+	if e.Peer() == p {
+		return true
+	}
+	s := r.Prog.Schema
+	for _, ef := range r.Steps[i].Effects {
+		v, ok := s.View(p, ef.Rel)
+		if !ok {
+			continue
+		}
+		var before, after data.Tuple
+		if ef.Before != nil && v.Sees(ef.Before) {
+			before = v.Project(ef.Before)
+		}
+		if ef.After != nil && v.Sees(ef.After) {
+			after = v.Project(ef.After)
+		}
+		if (before == nil) != (after == nil) {
+			return true
+		}
+		if before != nil && !before.Equal(after) {
+			return true
+		}
+	}
+	return false
+}
+
+// VisibleEvents returns the indices of the events visible at p.
+func (r *Run) VisibleEvents(p schema.Peer) []int {
+	var out []int
+	for i := range r.Steps {
+		if r.VisibleAt(i, p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Append extends the run with event e, enforcing the run conditions: the
+// event's body must hold on the current instance, its updates must be
+// applicable, and values bound to head-only variables must be globally
+// fresh (absent from const(P), the initial instance, and every instance so
+// far) and pairwise distinct.
+func (r *Run) Append(e *Event) error {
+	cur := r.Current()
+	vi := r.ViewAt(len(r.Steps)-1, e.Peer())
+	if !e.Rule.Body.Satisfied(vi, e.Val) {
+		return fmt.Errorf("program: event %s: body not satisfied at step %d", e, len(r.Steps))
+	}
+	freshVals := e.FreshValues()
+	inEvent := data.NewValueSet()
+	for _, v := range freshVals {
+		if v.IsNull() {
+			return fmt.Errorf("program: event %s: fresh variable bound to ⊥", e)
+		}
+		if r.consts.Has(v) || r.seen.Has(v) {
+			return fmt.Errorf("program: event %s: value %s is not globally fresh", e, v)
+		}
+		if !inEvent.Add(v) {
+			return fmt.Errorf("program: event %s: fresh variables share value %s", e, v)
+		}
+	}
+	next, effects, err := Apply(cur, e, r.Prog.Schema)
+	if err != nil {
+		return err
+	}
+	r.Steps = append(r.Steps, Step{Event: e, Instance: next, Effects: effects})
+	// Every value of the successor instance comes from the predecessor or
+	// from the event itself (the chase only moves existing values), so the
+	// freshness ledger grows by the event's values only.
+	r.seen.AddAll(e.Values())
+	return nil
+}
+
+// MustAppend is Append panicking on error.
+func (r *Run) MustAppend(e *Event) {
+	if err := r.Append(e); err != nil {
+		panic(err)
+	}
+}
+
+// Candidate is a rule with a body valuation found on the current instance;
+// firing it will extend the valuation with fresh values for head-only
+// variables.
+type Candidate struct {
+	Rule *rule.Rule
+	Val  query.Valuation
+}
+
+// String renders the candidate.
+func (c Candidate) String() string { return c.Rule.Name + c.Val.String() }
+
+// Candidates enumerates the applicable rule instantiations on the current
+// instance, at most limitPerRule per rule (0 = no cap). The enumeration is
+// deterministic. The returned candidates all have satisfiable bodies; their
+// updates are only checked when fired.
+func (r *Run) Candidates(limitPerRule int) []Candidate {
+	var out []Candidate
+	for _, rl := range r.Prog.Rules() {
+		vi := r.ViewAt(len(r.Steps)-1, rl.Peer)
+		for _, val := range rl.Body.Eval(vi, limitPerRule) {
+			out = append(out, Candidate{Rule: rl, Val: val})
+		}
+	}
+	return out
+}
+
+// Fire instantiates candidate c, binding head-only variables to fresh
+// values, and appends the resulting event to the run. Unbound body
+// variables are completed by evaluating the body on the current instance
+// under the partial binding (first match in deterministic order).
+func (r *Run) Fire(c Candidate) (*Event, error) {
+	val := c.Val.Clone()
+	unbound := false
+	for _, v := range c.Rule.BodyVars() {
+		if _, ok := val[v]; !ok {
+			unbound = true
+			break
+		}
+	}
+	if unbound {
+		vi := r.ViewAt(len(r.Steps)-1, c.Rule.Peer)
+		found := false
+		for _, full := range c.Rule.Body.Eval(vi, 0) {
+			consistent := true
+			for k, v := range val {
+				if fv, bound := full[k]; bound && fv != v {
+					consistent = false
+					break
+				}
+			}
+			if consistent {
+				for k, v := range full {
+					if _, bound := val[k]; !bound {
+						val[k] = v
+					}
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("program: rule %s: no body valuation extends %s", c.Rule.Name, val)
+		}
+	}
+	for _, v := range c.Rule.FreshVars() {
+		if _, bound := val[v]; bound {
+			continue
+		}
+		val[v] = r.NextFresh()
+	}
+	e, err := NewEvent(c.Rule, val)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Append(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// FireRule fires the named rule with the given body bindings, a convenience
+// for examples and tests.
+func (r *Run) FireRule(name string, bindings map[string]data.Value) (*Event, error) {
+	rl := r.Prog.Rule(name)
+	if rl == nil {
+		return nil, fmt.Errorf("program: no rule named %s", name)
+	}
+	val := make(query.Valuation, len(bindings))
+	for k, v := range bindings {
+		val[k] = v
+	}
+	return r.Fire(Candidate{Rule: rl, Val: val})
+}
+
+// MustFireRule is FireRule panicking on error.
+func (r *Run) MustFireRule(name string, bindings map[string]data.Value) *Event {
+	e, err := r.FireRule(name, bindings)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// NextFresh returns a value that is globally fresh for this run.
+func (r *Run) NextFresh() data.Value {
+	for {
+		v := r.fresh.Next()
+		if !r.consts.Has(v) && !r.seen.Has(v) {
+			return v
+		}
+	}
+}
+
+// String renders the run as its event sequence.
+func (r *Run) String() string {
+	parts := make([]string, len(r.Steps))
+	for i, s := range r.Steps {
+		parts[i] = fmt.Sprintf("%d: %s", i, s.Event)
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,161 @@
+// Package prov derives a causal graph over the events of a run from the
+// faithfulness machinery of Section 4: an edge e → f means that the
+// faithful explanation of event e directly requires event f — f created or
+// deleted a tuple whose lifecycle e's keys inhabit (boundary faithfulness),
+// or f filled an attribute relevant to e's peer (modification
+// faithfulness). Transitively, the nodes reachable from an event are
+// exactly its minimal faithful explanation T_p^ω(ρ, {e}).
+//
+// The graph powers two consumers: structured provenance queries ("why did
+// this transition happen, and through whom?") and a Graphviz DOT export for
+// visual inspection.
+package prov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"collabwf/internal/faithful"
+	"collabwf/internal/program"
+	"collabwf/internal/schema"
+)
+
+// Graph is the causal graph of a run for one peer.
+type Graph struct {
+	Run  *program.Run
+	Peer schema.Peer
+	// edges[e] lists the direct requirements of event e, sorted.
+	edges map[int][]int
+}
+
+// Build computes the causal graph of the run for the peer.
+func Build(r *program.Run, peer schema.Peer) *Graph {
+	a := faithful.NewAnalysis(r)
+	g := &Graph{Run: r, Peer: peer, edges: make(map[int][]int, r.Len())}
+	for i := 0; i < r.Len(); i++ {
+		step := faithful.Step(a, faithful.NewSeq(i), peer)
+		var deps []int
+		for _, j := range step.Sorted() {
+			if j != i {
+				deps = append(deps, j)
+			}
+		}
+		g.edges[i] = deps
+	}
+	return g
+}
+
+// Direct returns the direct requirements of event i.
+func (g *Graph) Direct(i int) []int {
+	return append([]int(nil), g.edges[i]...)
+}
+
+// Explanation returns the events reachable from i (including i): the
+// minimal boundary- and modification-faithful explanation of the event.
+// It coincides with faithful.Fixpoint on the singleton (tested).
+func (g *Graph) Explanation(i int) []int {
+	seen := map[int]bool{i: true}
+	stack := []int{i}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range g.edges[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Dependents returns the events whose explanations directly include i —
+// the inverse edges, answering "what did this event end up enabling?".
+func (g *Graph) Dependents(i int) []int {
+	var out []int
+	for e, deps := range g.edges {
+		for _, d := range deps {
+			if d == i {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PeersInvolved lists the peers whose events occur in the explanation of
+// event i — the answer to "who contributed to what I just saw?".
+func (g *Graph) PeersInvolved(i int) []schema.Peer {
+	set := make(map[schema.Peer]bool)
+	for _, j := range g.Explanation(i) {
+		set[g.Run.Event(j).Peer()] = true
+	}
+	out := make([]schema.Peer, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// DOT renders the graph in Graphviz format. Events visible to the peer are
+// drawn as boxes, invisible ones as ellipses; nodes are labeled with their
+// index, rule and peer.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph provenance {\n")
+	b.WriteString("  rankdir=BT;\n")
+	for i := 0; i < g.Run.Len(); i++ {
+		e := g.Run.Event(i)
+		shape := "ellipse"
+		if g.Run.VisibleAt(i, g.Peer) {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  e%d [shape=%s, label=%q];\n", i, shape,
+			fmt.Sprintf("#%d %s@%s", i, e.Rule.Name, e.Peer()))
+	}
+	for i := 0; i < g.Run.Len(); i++ {
+		for _, j := range g.edges[i] {
+			fmt.Fprintf(&b, "  e%d -> e%d;\n", i, j)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Subgraph renders only the explanation of one event as DOT, which is what
+// a peer-facing UI would show for a single observed transition.
+func (g *Graph) Subgraph(i int) string {
+	keep := make(map[int]bool)
+	for _, j := range g.Explanation(i) {
+		keep[j] = true
+	}
+	var b strings.Builder
+	b.WriteString("digraph explanation {\n  rankdir=BT;\n")
+	for _, j := range g.Explanation(i) {
+		e := g.Run.Event(j)
+		shape := "ellipse"
+		if g.Run.VisibleAt(j, g.Peer) {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  e%d [shape=%s, label=%q];\n", j, shape,
+			fmt.Sprintf("#%d %s@%s", j, e.Rule.Name, e.Peer()))
+	}
+	for _, j := range g.Explanation(i) {
+		for _, k := range g.edges[j] {
+			if keep[k] {
+				fmt.Fprintf(&b, "  e%d -> e%d;\n", j, k)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

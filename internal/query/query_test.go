@@ -1,0 +1,308 @@
+package query
+
+import (
+	"testing"
+
+	"collabwf/internal/cond"
+	"collabwf/internal/data"
+	"collabwf/internal/schema"
+)
+
+// fixture: relation Emp(K, Name, Dept), peer p sees everything; Dept(K, Mgr).
+func fixture(t *testing.T) (*schema.Collaborative, *schema.Instance) {
+	t.Helper()
+	emp := schema.MustRelation("Emp", "Name", "Dept")
+	dept := schema.MustRelation("Dept", "Mgr")
+	db := schema.MustDatabase(emp, dept)
+	s := schema.NewCollaborative(db)
+	s.MustAddView(schema.MustView(emp, "p", []data.Attr{"Name", "Dept"}, nil))
+	s.MustAddView(schema.MustView(dept, "p", []data.Attr{"Mgr"}, nil))
+	in := schema.NewInstance(db)
+	in.MustPut("Emp", data.Tuple{"e1", "alice", "d1"})
+	in.MustPut("Emp", data.Tuple{"e2", "bob", "d1"})
+	in.MustPut("Emp", data.Tuple{"e3", "carol", "d2"})
+	in.MustPut("Dept", data.Tuple{"d1", "alice"})
+	in.MustPut("Dept", data.Tuple{"d2", "dan"})
+	return s, in
+}
+
+func vi(t *testing.T) *schema.ViewInstance {
+	s, in := fixture(t)
+	return schema.ViewOf(in, s, "p")
+}
+
+func TestEvalSingleAtom(t *testing.T) {
+	q := Query{Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}}}
+	got := q.Eval(vi(t), 0)
+	if len(got) != 3 {
+		t.Fatalf("got %d valuations", len(got))
+	}
+	// Deterministic order: sorted by key.
+	if got[0]["n"] != "alice" || got[2]["n"] != "carol" {
+		t.Fatalf("order %v", got)
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	// Employees in a department managed by alice.
+	q := Query{
+		Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}},
+		Atom{Rel: "Dept", Args: []Term{V("d"), C("alice")}},
+	}
+	got := q.Eval(vi(t), 0)
+	if len(got) != 2 {
+		t.Fatalf("join gave %d rows: %v", len(got), got)
+	}
+	for _, val := range got {
+		if val["d"] != "d1" {
+			t.Fatalf("wrong dept in %v", val)
+		}
+	}
+}
+
+func TestEvalConstMismatch(t *testing.T) {
+	q := Query{Atom{Rel: "Emp", Args: []Term{V("k"), C("zoe"), V("d")}}}
+	if got := q.Eval(vi(t), 0); len(got) != 0 {
+		t.Fatalf("expected empty, got %v", got)
+	}
+}
+
+func TestEvalRepeatedVariable(t *testing.T) {
+	// Dept whose manager's name equals... join Emp(k,n,d), Dept(d,n):
+	// manager works in their own department.
+	q := Query{
+		Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}},
+		Atom{Rel: "Dept", Args: []Term{V("d"), V("n")}},
+	}
+	got := q.Eval(vi(t), 0)
+	if len(got) != 1 || got[0]["n"] != "alice" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEvalNegativeAtom(t *testing.T) {
+	// Employees whose exact tuple is not (e1, alice, d1).
+	q := Query{
+		Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}},
+		Atom{Neg: true, Rel: "Emp", Args: []Term{C("e1"), V("n"), V("d")}},
+	}
+	got := q.Eval(vi(t), 0)
+	// alice's (n,d) matches e1's tuple, so she is excluded.
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEvalKeyAtoms(t *testing.T) {
+	q := Query{KeyAtom{Rel: "Emp", Arg: V("k")}}
+	if got := q.Eval(vi(t), 0); len(got) != 3 {
+		t.Fatalf("key atom enumerates keys, got %v", got)
+	}
+	q2 := Query{
+		Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}},
+		KeyAtom{Neg: true, Rel: "Dept", Arg: V("k")},
+	}
+	if got := q2.Eval(vi(t), 0); len(got) != 3 {
+		t.Fatalf("no Emp key is a Dept key, got %v", got)
+	}
+	q3 := Query{KeyAtom{Rel: "Dept", Arg: C("d1")}}
+	if !q3.Holds(vi(t)) {
+		t.Fatal("ground key atom should hold")
+	}
+	q4 := Query{KeyAtom{Neg: true, Rel: "Dept", Arg: C("d1")}}
+	if q4.Holds(vi(t)) {
+		t.Fatal("negated ground key atom should fail")
+	}
+}
+
+func TestEvalCompare(t *testing.T) {
+	q := Query{
+		Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}},
+		Atom{Rel: "Emp", Args: []Term{V("k2"), V("n2"), V("d")}},
+		Compare{Neg: true, L: V("k"), R: V("k2")},
+	}
+	got := q.Eval(vi(t), 0)
+	// Pairs of distinct employees sharing a department: (e1,e2) and (e2,e1).
+	if len(got) != 2 {
+		t.Fatalf("got %d: %v", len(got), got)
+	}
+	q2 := Query{
+		Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}},
+		Compare{L: V("n"), R: C("bob")},
+	}
+	got2 := q2.Eval(vi(t), 0)
+	if len(got2) != 1 || got2[0]["k"] != "e2" {
+		t.Fatalf("got %v", got2)
+	}
+}
+
+func TestEvalLimit(t *testing.T) {
+	q := Query{Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}}}
+	if got := q.Eval(vi(t), 2); len(got) != 2 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+	if !q.Holds(vi(t)) {
+		t.Fatal("Holds should be true")
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	q := Query{}
+	got := q.Eval(vi(t), 0)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty query has exactly the empty valuation, got %v", got)
+	}
+	if q.String() != "true" {
+		t.Fatalf("String()=%q", q.String())
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	q := Query{
+		Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}},
+		Compare{Neg: true, L: V("n"), R: C("zoe")},
+	}
+	v := vi(t)
+	if !q.Satisfied(v, Valuation{"k": "e1", "n": "alice", "d": "d1"}) {
+		t.Fatal("valid valuation rejected")
+	}
+	if q.Satisfied(v, Valuation{"k": "e1", "n": "bob", "d": "d1"}) {
+		t.Fatal("wrong tuple accepted")
+	}
+	if q.Satisfied(v, Valuation{"k": "e1", "n": "alice"}) {
+		t.Fatal("partial valuation accepted")
+	}
+}
+
+func TestCheckSafe(t *testing.T) {
+	ok := Query{
+		Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}},
+		Compare{Neg: true, L: V("k"), R: V("n")},
+	}
+	if err := ok.CheckSafe(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Query{Compare{L: V("x"), R: C("1")}}
+	if err := bad.CheckSafe(); err == nil {
+		t.Fatal("unsafe variable must be rejected")
+	}
+	bad2 := Query{Atom{Neg: true, Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}}}
+	if err := bad2.CheckSafe(); err == nil {
+		t.Fatal("variables only in negative literals are unsafe")
+	}
+	keyBound := Query{KeyAtom{Rel: "Emp", Arg: V("k")}}
+	if err := keyBound.CheckSafe(); err != nil {
+		t.Fatalf("positive key literal binds: %v", err)
+	}
+}
+
+func TestCheckSchema(t *testing.T) {
+	s, _ := fixture(t)
+	ok := Query{Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}}}
+	if err := ok.CheckSchema(s, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.CheckSchema(s, "nobody"); err == nil {
+		t.Fatal("unknown peer must fail")
+	}
+	badArity := Query{Atom{Rel: "Emp", Args: []Term{V("k")}}}
+	if err := badArity.CheckSchema(s, "p"); err == nil {
+		t.Fatal("wrong arity must fail")
+	}
+	badRel := Query{KeyAtom{Rel: "Nope", Arg: V("k")}}
+	if err := badRel.CheckSchema(s, "p"); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+}
+
+func TestSelectionRestrictsEvaluation(t *testing.T) {
+	// Peer q only sees employees of d1.
+	emp := schema.MustRelation("Emp", "Name", "Dept")
+	db := schema.MustDatabase(emp)
+	s := schema.NewCollaborative(db)
+	s.MustAddView(schema.MustView(emp, "q", []data.Attr{"Name", "Dept"},
+		cond.EqConst{Attr: "Dept", Const: "d1"}))
+	in := schema.NewInstance(db)
+	in.MustPut("Emp", data.Tuple{"e1", "alice", "d1"})
+	in.MustPut("Emp", data.Tuple{"e3", "carol", "d2"})
+	q := Query{Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), V("d")}}}
+	got := q.Eval(schema.ViewOf(in, s, "q"), 0)
+	if len(got) != 1 || got[0]["n"] != "alice" {
+		t.Fatalf("selection should hide carol: %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := Query{
+		Atom{Rel: "Emp", Args: []Term{V("k"), C("alice"), C(data.Null)}},
+		KeyAtom{Neg: true, Rel: "Dept", Arg: V("k")},
+		Compare{Neg: true, L: V("k"), R: C("x")},
+	}
+	want := `Emp(k, "alice", null), not key Dept(k), k != "x"`
+	if q.String() != want {
+		t.Fatalf("String()=%q", q.String())
+	}
+	if V("x").String() != "x" || C("a").String() != `"a"` {
+		t.Fatal("term rendering broken")
+	}
+}
+
+func TestValuation(t *testing.T) {
+	v := Valuation{"x": "1", "a": "2"}
+	if v.String() != "{a↦2, x↦1}" {
+		t.Fatalf("String()=%q", v.String())
+	}
+	c := v.Clone()
+	c["x"] = "9"
+	if v["x"] != "1" {
+		t.Fatal("Clone aliases")
+	}
+	if got, ok := v.Apply(V("missing")); ok || got != "" {
+		t.Fatal("unbound variable must not resolve")
+	}
+	if got, ok := v.Apply(C("c")); !ok || got != "c" {
+		t.Fatal("constant must resolve to itself")
+	}
+}
+
+func TestQueryVars(t *testing.T) {
+	q := Query{
+		Atom{Rel: "Emp", Args: []Term{V("k"), V("n"), C("d1")}},
+		Compare{L: V("n"), R: V("a")},
+	}
+	got := q.Vars()
+	want := []string{"a", "k", "n"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars()=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars()=%v", got)
+		}
+	}
+}
+
+// Key-bound atoms are answered by direct lookup; correctness must match
+// the scan path on joins where the key is bound by an earlier literal.
+func TestEvalKeyLookupJoin(t *testing.T) {
+	// Dept(d1).Mgr = alice = Emp(e1).Name; join binding k then looking up
+	// Emp by bound key.
+	q := Query{
+		Atom{Rel: "Dept", Args: []Term{V("d"), V("m")}},
+		Atom{Rel: "Emp", Args: []Term{C("e1"), V("m"), V("dep")}},
+	}
+	got := q.Eval(vi(t), 0)
+	if len(got) != 1 || got[0]["m"] != "alice" || got[0]["d"] != "d1" {
+		t.Fatalf("got %v", got)
+	}
+	// Bound key absent from the relation: no results, no panic.
+	q2 := Query{Atom{Rel: "Emp", Args: []Term{C("zzz"), V("n"), V("dep")}}}
+	if got := q2.Eval(vi(t), 0); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	// Bound key present but tuple mismatch on later argument.
+	q3 := Query{Atom{Rel: "Emp", Args: []Term{C("e1"), C("bob"), V("dep")}}}
+	if got := q3.Eval(vi(t), 0); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}

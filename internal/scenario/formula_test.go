@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"testing"
+
+	"collabwf/internal/workload"
+)
+
+// Theorem 3.4 reduction: the full run of the Formula gadget is a minimal
+// scenario at p iff φ is unsatisfiable. Cross-checked against brute-force
+// satisfiability.
+func TestMinimalityMatchesFormulaSatisfiability(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		f    workload.CNF
+	}{
+		{"sat ¬x0∧x1", 2, workload.CNF{{{Var: 0, Neg: true}}, {{Var: 1}}}},
+		{"unsat x0∧¬x0", 1, workload.CNF{{{Var: 0}}, {{Var: 0, Neg: true}}}},
+		{"sat ¬x0∨¬x1", 2, workload.CNF{{{Var: 0, Neg: true}, {Var: 1, Neg: true}}}},
+		{"unsat 3var", 3, workload.CNF{
+			{{Var: 0}, {Var: 1}},
+			{{Var: 0, Neg: true}},
+			{{Var: 1, Neg: true}},
+		}},
+		{"sat 3var", 3, workload.CNF{
+			{{Var: 0}, {Var: 1, Neg: true}},
+			{{Var: 2, Neg: true}},
+		}},
+	}
+	for _, c := range cases {
+		_, r, err := workload.Formula(c.n, c.f)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		all := make([]int, r.Len())
+		for i := range all {
+			all[i] = i
+		}
+		minimal, err := IsMinimal(r, "p", all, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		sat := c.f.Satisfiable(c.n)
+		if minimal != !sat {
+			t.Errorf("%s: minimal=%v but satisfiable=%v (must be opposite)", c.name, minimal, sat)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package scenario implements subruns and scenarios (Section 3 of the
+// paper). A subrun of a run ρ keeps a subsequence of ρ's events, replayed
+// from the same initial instance; a scenario of ρ at a peer p is a subrun
+// observationally equivalent to ρ for p (Definition 3.2).
+//
+// Finding a minimum scenario is NP-complete (Theorem 3.3) and testing
+// minimality is coNP-complete (Theorem 3.4), so the exact procedures here
+// are bounded exhaustive searches guarded by explicit caps, while
+// Greedy computes a 1-minimal scenario in polynomial time.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"collabwf/internal/program"
+	"collabwf/internal/schema"
+	"collabwf/internal/view"
+)
+
+// ErrBudget is returned when an exact search would exceed its configured
+// bounds (the underlying problems are NP-/coNP-complete).
+var ErrBudget = errors.New("scenario: search budget exceeded")
+
+// Replay re-executes the events of r selected by indices (strictly
+// increasing positions into e(ρ)), starting from r's initial instance. It
+// returns the resulting subrun or an error if the subsequence does not
+// yield a run.
+func Replay(r *program.Run, indices []int) (*program.Run, error) {
+	sub := program.NewRunFrom(r.Prog, r.Initial)
+	prev := -1
+	for _, i := range indices {
+		if i <= prev || i >= r.Len() {
+			return nil, fmt.Errorf("scenario: bad index sequence at %d", i)
+		}
+		prev = i
+		if err := sub.Append(r.Event(i)); err != nil {
+			return nil, fmt.Errorf("scenario: event %d not replayable: %w", i, err)
+		}
+	}
+	return sub, nil
+}
+
+// IsSubrun reports whether the selected subsequence of events yields a run.
+func IsSubrun(r *program.Run, indices []int) bool {
+	_, err := Replay(r, indices)
+	return err == nil
+}
+
+// IsScenario reports whether the selected subsequence yields a scenario of
+// r at p: a subrun with ρ@p = ρ̂@p.
+func IsScenario(r *program.Run, p schema.Peer, indices []int) bool {
+	sub, err := Replay(r, indices)
+	if err != nil {
+		return false
+	}
+	return view.Of(r, p).Equal(view.Of(sub, p))
+}
+
+// Options bounds the exact searches.
+type Options struct {
+	// MaxChoice caps the number of invisible events the search may choose
+	// from; beyond it the exact procedures return ErrBudget. Default 20.
+	MaxChoice int
+	// MaxChecks caps the number of candidate subsequences replayed.
+	// Default 1 << 22.
+	MaxChecks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxChoice == 0 {
+		o.MaxChoice = 20
+	}
+	if o.MaxChecks == 0 {
+		o.MaxChecks = 1 << 22
+	}
+	return o
+}
+
+// Minimum finds a minimum-length scenario of r at p by exhaustive search in
+// order of increasing length (Theorem 3.3: the decision problem is
+// NP-complete, so this is exponential in the number of invisible events).
+// The visible events of r are always included. It returns the indices of a
+// minimum scenario.
+func Minimum(r *program.Run, p schema.Peer, opts Options) ([]int, error) {
+	opts = opts.withDefaults()
+	visible, invisible := split(r, p)
+	if len(invisible) > opts.MaxChoice {
+		return nil, fmt.Errorf("%w: %d invisible events > MaxChoice %d", ErrBudget, len(invisible), opts.MaxChoice)
+	}
+	checks := 0
+	n := len(invisible)
+	// Enumerate subsets of the invisible events by increasing popcount.
+	for size := 0; size <= n; size++ {
+		for mask := uint64(0); mask < 1<<uint(n); mask++ {
+			if bits.OnesCount64(mask) != size {
+				continue
+			}
+			checks++
+			if checks > opts.MaxChecks {
+				return nil, ErrBudget
+			}
+			indices := merge(visible, invisible, mask)
+			if IsScenario(r, p, indices) {
+				return indices, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("scenario: no scenario found (the full run should always be one)")
+}
+
+// Greedy computes a 1-minimal scenario of r at p in polynomial time: it
+// starts from the full run and removes invisible events one at a time,
+// keeping each removal that preserves scenario-hood. The result is a
+// scenario from which no single event can be dropped; it is not guaranteed
+// to be minimal in the subsequence order (testing that is coNP-complete),
+// nor minimum in length. Events are tried from the latest backwards (see
+// GreedyOrder for the ablation).
+func Greedy(r *program.Run, p schema.Peer) []int {
+	return GreedyOrder(r, p, false)
+}
+
+// GreedyOrder is Greedy with an explicit removal order: frontFirst tries
+// removing the earliest events first, otherwise the latest. Passes repeat
+// until a full pass removes nothing, so the result is 1-minimal for either
+// order; backward removal sheds dependents before their prerequisites and
+// usually converges in a single pass (measured by the ablation
+// benchmarks).
+func GreedyOrder(r *program.Run, p schema.Peer, frontFirst bool) []int {
+	current := make([]int, r.Len())
+	for i := range current {
+		current[i] = i
+	}
+	visible := make(map[int]bool)
+	for _, i := range r.VisibleEvents(p) {
+		visible[i] = true
+	}
+	for {
+		changed := false
+		order := make([]int, len(current))
+		copy(order, current)
+		if !frontFirst {
+			for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		for _, i := range order {
+			if visible[i] {
+				continue
+			}
+			candidate := make([]int, 0, len(current)-1)
+			for _, j := range current {
+				if j != i {
+					candidate = append(candidate, j)
+				}
+			}
+			if IsScenario(r, p, candidate) {
+				current = candidate
+				changed = true
+			}
+		}
+		if !changed {
+			return current
+		}
+	}
+}
+
+// IsMinimal reports whether the subsequence `indices` (which must be a
+// scenario of r at p) is a minimal scenario: no strict subsequence is a
+// scenario (Theorem 3.4: coNP-complete, so this is an exponential search
+// over the removable events, bounded by opts).
+func IsMinimal(r *program.Run, p schema.Peer, indices []int, opts Options) (bool, error) {
+	opts = opts.withDefaults()
+	if !IsScenario(r, p, indices) {
+		return false, fmt.Errorf("scenario: the given subsequence is not a scenario")
+	}
+	visible := make(map[int]bool)
+	for _, i := range r.VisibleEvents(p) {
+		visible[i] = true
+	}
+	var fixed, removable []int
+	for _, i := range indices {
+		if visible[i] {
+			fixed = append(fixed, i)
+		} else {
+			removable = append(removable, i)
+		}
+	}
+	n := len(removable)
+	if n > opts.MaxChoice {
+		return false, fmt.Errorf("%w: %d removable events > MaxChoice %d", ErrBudget, n, opts.MaxChoice)
+	}
+	checks := 0
+	// Any strict subsequence keeps the visible events (dropping one can
+	// never preserve the view), so enumerate strict subsets of removable.
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		if bits.OnesCount64(mask) == n {
+			continue // not strict
+		}
+		checks++
+		if checks > opts.MaxChecks {
+			return false, ErrBudget
+		}
+		if IsScenario(r, p, merge(fixed, removable, mask)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// split partitions the event indices of r into those visible and invisible
+// at p.
+func split(r *program.Run, p schema.Peer) (visible, invisible []int) {
+	vis := make(map[int]bool)
+	for _, i := range r.VisibleEvents(p) {
+		vis[i] = true
+	}
+	for i := 0; i < r.Len(); i++ {
+		if vis[i] {
+			visible = append(visible, i)
+		} else {
+			invisible = append(invisible, i)
+		}
+	}
+	return visible, invisible
+}
+
+// merge combines the fixed indices with the invisible indices selected by
+// mask into a sorted index sequence.
+func merge(fixed, choice []int, mask uint64) []int {
+	out := make([]int, 0, len(fixed)+bits.OnesCount64(mask))
+	fi, ci := 0, 0
+	for fi < len(fixed) || ci < len(choice) {
+		takeChoice := false
+		if fi == len(fixed) {
+			takeChoice = true
+		} else if ci < len(choice) && choice[ci] < fixed[fi] {
+			takeChoice = true
+		}
+		if takeChoice {
+			if mask&(1<<uint(ci)) != 0 {
+				out = append(out, choice[ci])
+			}
+			ci++
+		} else {
+			out = append(out, fixed[fi])
+			fi++
+		}
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+// Package server implements the master-server architecture sketched in the
+// paper's conclusion: a coordinator "that has access to all the
+// information, receives the updates, propagates them to appropriate peers,
+// and controls transparency and boundedness for certain peers."
+//
+// The Coordinator serializes concurrent peer submissions into a single
+// global run, maintains an incremental explainer per peer, notifies
+// subscribers of the transitions visible to them (each with its faithful
+// explanation), and — for guarded peers — rejects submissions that would
+// make the run non-transparent or exceed the step budget. An HTTP façade
+// (Handler) exposes the same operations as a JSON API.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"collabwf/internal/core"
+	"collabwf/internal/data"
+	"collabwf/internal/design"
+	"collabwf/internal/program"
+	"collabwf/internal/schema"
+	"collabwf/internal/trace"
+)
+
+// Notification tells a subscriber about one transition visible to it.
+type Notification struct {
+	// Index is the event's position in the global run.
+	Index int `json:"index"`
+	// Omega is true when another peer performed the event.
+	Omega bool `json:"omega"`
+	// Rule names the fired rule (own events only; hidden behind ω
+	// otherwise — the subscriber learns exactly what its run view shows).
+	Rule string `json:"rule,omitempty"`
+	// View renders the subscriber's view after the transition.
+	View string `json:"view"`
+	// Because lists the indices of the events in the faithful explanation
+	// of this transition (excluding the transition itself).
+	Because []int `json:"because,omitempty"`
+}
+
+// SubmitResult describes an accepted submission.
+type SubmitResult struct {
+	// Index is the event's position in the global run.
+	Index int `json:"index"`
+	// Updates renders the applied ground updates.
+	Updates []string `json:"updates"`
+	// VisibleAt lists the peers that observed the transition.
+	VisibleAt []string `json:"visibleAt"`
+}
+
+// Coordinator is the thread-safe master server for one workflow program.
+type Coordinator struct {
+	mu sync.Mutex
+
+	name string
+	prog *program.Program
+	run  *program.Run
+
+	explainers map[schema.Peer]*core.Explainer
+	// guards maps each transparency-controlled peer to its step budget h,
+	// and guardMonitors holds one incrementally-synced monitor per guard
+	// (rebuilt only when a rejection rolls the run back).
+	guards        map[schema.Peer]int
+	guardMonitors map[schema.Peer]*design.Monitor
+
+	subs   map[schema.Peer]map[int]chan Notification
+	nextID int
+	// dropped counts notifications lost to slow subscribers.
+	dropped int
+}
+
+// New starts a coordinator for the program from the empty instance.
+func New(name string, p *program.Program) *Coordinator {
+	return &Coordinator{
+		name:          name,
+		prog:          p,
+		run:           program.NewRun(p),
+		explainers:    make(map[schema.Peer]*core.Explainer),
+		guards:        make(map[schema.Peer]int),
+		guardMonitors: make(map[schema.Peer]*design.Monitor),
+		subs:          make(map[schema.Peer]map[int]chan Notification),
+	}
+}
+
+// Guard enforces transparency and h-boundedness for the peer: submissions
+// (by anyone) that would violate either are rejected. Must be called
+// before any submission.
+func (c *Coordinator) Guard(peer schema.Peer, h int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.prog.Schema.HasPeer(peer) {
+		return fmt.Errorf("server: unknown peer %s", peer)
+	}
+	if c.run.Len() > 0 {
+		return fmt.Errorf("server: guards must be installed before the run starts")
+	}
+	if h < 1 {
+		return fmt.Errorf("server: guard budget must be ≥ 1")
+	}
+	c.guards[peer] = h
+	c.guardMonitors[peer] = design.NewMonitor(c.run, peer, h)
+	return nil
+}
+
+// Submit serializes one rule firing by a peer into the global run. The
+// rule must belong to the submitting peer. Under guards, a violating event
+// is rejected and the run left unchanged.
+func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[string]data.Value) (*SubmitResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rl := c.prog.Rule(ruleName)
+	if rl == nil {
+		return nil, fmt.Errorf("server: unknown rule %s", ruleName)
+	}
+	if rl.Peer != peer {
+		return nil, fmt.Errorf("server: rule %s belongs to %s, not %s", ruleName, rl.Peer, peer)
+	}
+	prevLen := c.run.Len()
+	e, err := c.run.FireRule(ruleName, bindings)
+	if err != nil {
+		return nil, err
+	}
+	// Guard check: each guard's monitor is synced incrementally (one step
+	// per event); only a rejection pays the O(run) rollback rebuild.
+	for _, guarded := range c.sortedGuards() {
+		m := c.guardMonitors[guarded]
+		m.Sync()
+		if vs := m.Violations(); len(vs) > 0 {
+			c.rollbackTo(prevLen)
+			return nil, fmt.Errorf("server: rejected by the transparency guard for %s: %s", guarded, vs[len(vs)-1].Reason)
+		}
+	}
+	idx := c.run.Len() - 1
+	res := &SubmitResult{Index: idx}
+	for _, u := range e.Updates {
+		res.Updates = append(res.Updates, u.String())
+	}
+	for _, q := range c.prog.Peers() {
+		if c.run.VisibleAt(idx, q) {
+			res.VisibleAt = append(res.VisibleAt, string(q))
+		}
+	}
+	c.notify(idx)
+	return res, nil
+}
+
+// sortedGuards returns the guarded peers in deterministic order.
+func (c *Coordinator) sortedGuards() []schema.Peer {
+	out := make([]schema.Peer, 0, len(c.guards))
+	for p := range c.guards {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rollbackTo rebuilds the run from its first n events, resetting the
+// per-peer explainers (their maintainers reference the replaced run).
+func (c *Coordinator) rollbackTo(n int) {
+	fresh := program.NewRunFrom(c.prog, c.run.Initial)
+	for i := 0; i < n; i++ {
+		fresh.MustAppend(c.run.Event(i))
+	}
+	c.run = fresh
+	c.explainers = make(map[schema.Peer]*core.Explainer)
+	for peer, h := range c.guards {
+		c.guardMonitors[peer] = design.NewMonitor(fresh, peer, h)
+	}
+}
+
+// explainer returns the (synced) incremental explainer for the peer.
+// Callers hold the lock.
+func (c *Coordinator) explainer(peer schema.Peer) *core.Explainer {
+	ex, ok := c.explainers[peer]
+	if !ok {
+		ex = core.NewExplainer(c.run, peer)
+		c.explainers[peer] = ex
+	}
+	ex.Sync()
+	return ex
+}
+
+// notify pushes the transition at index idx to every subscriber that sees
+// it. Slow subscribers lose notifications rather than blocking the run.
+func (c *Coordinator) notify(idx int) {
+	for peer, chans := range c.subs {
+		if len(chans) == 0 || !c.run.VisibleAt(idx, peer) {
+			continue
+		}
+		n := c.buildNotification(peer, idx)
+		for _, ch := range chans {
+			select {
+			case ch <- n:
+			default:
+				c.dropped++
+			}
+		}
+	}
+}
+
+func (c *Coordinator) buildNotification(peer schema.Peer, idx int) Notification {
+	e := c.run.Event(idx)
+	n := Notification{
+		Index: idx,
+		Omega: e.Peer() != peer,
+		View:  c.run.ViewAt(idx, peer).String(),
+	}
+	if !n.Omega {
+		n.Rule = e.Rule.Name
+	}
+	for _, j := range c.explainer(peer).ExplainEvent(idx) {
+		if j != idx {
+			n.Because = append(n.Because, j)
+		}
+	}
+	sort.Ints(n.Because)
+	return n
+}
+
+// Subscribe registers a notification channel for the peer's visible
+// transitions; the returned cancel function unregisters it. The channel
+// buffers `buffer` notifications and drops on overflow.
+func (c *Coordinator) Subscribe(peer schema.Peer, buffer int) (<-chan Notification, func(), error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.prog.Schema.HasPeer(peer) {
+		return nil, nil, fmt.Errorf("server: unknown peer %s", peer)
+	}
+	if buffer < 1 {
+		buffer = 16
+	}
+	ch := make(chan Notification, buffer)
+	if c.subs[peer] == nil {
+		c.subs[peer] = make(map[int]chan Notification)
+	}
+	c.nextID++
+	id := c.nextID
+	c.subs[peer][id] = ch
+	cancel := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if chans := c.subs[peer]; chans != nil {
+			delete(chans, id)
+		}
+	}
+	return ch, cancel, nil
+}
+
+// View renders the peer's current view of the database.
+func (c *Coordinator) View(peer schema.Peer) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.prog.Schema.HasPeer(peer) {
+		return "", fmt.Errorf("server: unknown peer %s", peer)
+	}
+	return c.run.ViewAt(c.run.Len()-1, peer).String(), nil
+}
+
+// Explain returns the peer's runtime explanation report of the run so far.
+func (c *Coordinator) Explain(peer schema.Peer) (*core.Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.prog.Schema.HasPeer(peer) {
+		return nil, fmt.Errorf("server: unknown peer %s", peer)
+	}
+	return c.explainer(peer).Report(), nil
+}
+
+// Scenario returns the peer's minimal faithful scenario indices.
+func (c *Coordinator) Scenario(peer schema.Peer) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.prog.Schema.HasPeer(peer) {
+		return nil, fmt.Errorf("server: unknown peer %s", peer)
+	}
+	return c.explainer(peer).MinimalScenario(), nil
+}
+
+// Transitions returns the peer's visible transitions with indices ≥ from,
+// for poll-based observation.
+func (c *Coordinator) Transitions(peer schema.Peer, from int) ([]Notification, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.prog.Schema.HasPeer(peer) {
+		return nil, fmt.Errorf("server: unknown peer %s", peer)
+	}
+	var out []Notification
+	for _, idx := range c.run.VisibleEvents(peer) {
+		if idx >= from {
+			out = append(out, c.buildNotification(peer, idx))
+		}
+	}
+	return out, nil
+}
+
+// Trace exports the full run as a replayable trace (operator access).
+func (c *Coordinator) Trace() *trace.Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return trace.FromRun(c.name, c.run)
+}
+
+// Len returns the number of events accepted so far.
+func (c *Coordinator) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.run.Len()
+}
+
+// Dropped reports notifications lost to slow subscribers.
+func (c *Coordinator) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}

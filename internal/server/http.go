@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"collabwf/internal/data"
+	"collabwf/internal/schema"
+)
+
+// Handler exposes a Coordinator as a JSON HTTP API:
+//
+//	POST /submit        {"peer": "hr", "rule": "clear", "bindings": {"x": "sue"}}
+//	GET  /view?peer=p
+//	GET  /explain?peer=p
+//	GET  /scenario?peer=p
+//	GET  /transitions?peer=p&from=0
+//	GET  /trace
+//
+// Every response is JSON; errors use {"error": "..."} with a 4xx status.
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return
+		}
+		var req struct {
+			Peer     string            `json:"peer"`
+			Rule     string            `json:"rule"`
+			Bindings map[string]string `json:"bindings"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		bindings := make(map[string]data.Value, len(req.Bindings))
+		for k, v := range req.Bindings {
+			bindings[k] = data.Value(v)
+		}
+		res, err := c.Submit(schema.Peer(req.Peer), req.Rule, bindings)
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, res)
+	})
+
+	mux.HandleFunc("/view", func(w http.ResponseWriter, r *http.Request) {
+		v, err := c.View(peerParam(r))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, map[string]string{"view": v})
+	})
+
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := c.Explain(peerParam(r))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, map[string]any{"report": rep, "text": rep.String()})
+	})
+
+	mux.HandleFunc("/scenario", func(w http.ResponseWriter, r *http.Request) {
+		seq, err := c.Scenario(peerParam(r))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, map[string]any{"events": seq})
+	})
+
+	mux.HandleFunc("/transitions", func(w http.ResponseWriter, r *http.Request) {
+		from := 0
+		if f := r.URL.Query().Get("from"); f != "" {
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad from: %v", err))
+				return
+			}
+			from = n
+		}
+		ts, err := c.Transitions(peerParam(r), from)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, map[string]any{"transitions": ts, "len": c.Len()})
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := c.Trace().Write(w); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	})
+	return mux
+}
+
+func peerParam(r *http.Request) schema.Peer {
+	return schema.Peer(r.URL.Query().Get("peer"))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

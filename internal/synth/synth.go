@@ -1,0 +1,264 @@
+// Package synth constructs view programs (Section 5 of the paper): given a
+// program P that is h-bounded and transparent for a peer p, it synthesizes
+// the program P@p over the schema D@p with peers p and ω whose runs are
+// exactly the p-views of the runs of P (Theorem 5.13).
+//
+// Each ω-rule is built from a triple (I, α, J): a p-fresh instance I over
+// the constant pool, a minimum p-faithful run α from I whose events are all
+// silent at p except the visible last one, and J = α(I). The rule's body
+// lists the tuples of I@p that caused the update — the provenance, in terms
+// of data visible at p, of the side-effect the rule describes.
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"collabwf/internal/data"
+	"collabwf/internal/program"
+	"collabwf/internal/query"
+	"collabwf/internal/rule"
+	"collabwf/internal/schema"
+	"collabwf/internal/transparency"
+)
+
+// Result is a synthesized view program.
+type Result struct {
+	// Program is P@p: a workflow program over D@p with peers p and ω.
+	Program *program.Program
+	// OmegaRules are the synthesized rules of peer ω, each describing one
+	// possible visible side-effect with its provenance in the body.
+	OmegaRules []*rule.Rule
+	// Triples is the number of (I, α, J) triples enumerated (before rule
+	// deduplication).
+	Triples int
+}
+
+// Options re-exports the transparency search options.
+type Options = transparency.Options
+
+// Synthesize builds the view program P@p for the given peer, assuming P is
+// h-bounded and transparent for it (callers can verify both with the
+// transparency package; the construction is well-defined regardless, but
+// soundness and completeness are only guaranteed under those hypotheses).
+func Synthesize(p *program.Program, peer schema.Peer, h int, opts Options) (*Result, error) {
+	enum, err := transparency.EnumerateTriples(p, peer, h, opts)
+	if err != nil {
+		return nil, err
+	}
+	viewDB, err := p.Schema.ViewSchema(peer)
+	if err != nil {
+		return nil, err
+	}
+	collab := schema.NewCollaborative(viewDB)
+	for _, who := range []schema.Peer{peer, schema.World} {
+		for _, name := range viewDB.Names() {
+			collab.MustAddView(schema.MustView(viewDB.Relation(name), who, viewDB.Relation(name).Attrs[1:], nil))
+		}
+	}
+
+	consts := p.Constants()
+	seen := make(map[string]bool)
+	var omega []*rule.Rule
+	for _, tr := range enum.Triples {
+		r := buildOmegaRule(tr, peer, consts)
+		if r == nil {
+			continue
+		}
+		fp := canonicalRule(r)
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		r.Name = fmt.Sprintf("omega%d", len(omega)+1)
+		omega = append(omega, r)
+	}
+	sort.Slice(omega, func(i, j int) bool { return canonicalRule(omega[i]) < canonicalRule(omega[j]) })
+	for i, r := range omega {
+		r.Name = fmt.Sprintf("omega%d", i+1)
+	}
+
+	// Peer p keeps its own rules, re-targeted at the view schema.
+	var all []*rule.Rule
+	for _, r := range p.RulesAt(peer) {
+		all = append(all, &rule.Rule{Name: r.Name, Peer: peer, Head: r.Head, Body: r.Body, Origin: r.Name})
+	}
+	all = append(all, omega...)
+	vp, err := program.New(collab, all)
+	if err != nil {
+		return nil, fmt.Errorf("synth: synthesized program invalid: %w", err)
+	}
+	return &Result{Program: vp, OmegaRules: omega, Triples: len(enum.Triples)}, nil
+}
+
+// buildOmegaRule constructs the ω-rule of a triple, or nil when the triple
+// produces no visible change (no head would be generated).
+func buildOmegaRule(tr transparency.Triple, peer schema.Peer, consts data.ValueSet) *rule.Rule {
+	// ν maps non-program constants to variables.
+	varOf := make(map[data.Value]query.Term)
+	next := 0
+	nu := func(v data.Value) query.Term {
+		if v.IsNull() {
+			return query.C(data.Null)
+		}
+		if consts.Has(v) {
+			return query.C(v)
+		}
+		if t, ok := varOf[v]; ok {
+			return t
+		}
+		next++
+		t := query.V(fmt.Sprintf("x%d", next))
+		varOf[v] = t
+		return t
+	}
+
+	var body query.Query
+	var head []rule.Update
+	bodyVars := make(map[string]bool)
+
+	// Positive body: the visible tuples of I@p — the provenance.
+	for _, rel := range tr.Before.Relations() {
+		for _, t := range tr.Before.Tuples(rel) {
+			args := make([]query.Term, len(t))
+			for i, v := range t {
+				args[i] = nu(v)
+			}
+			body = append(body, query.Atom{Rel: rel, Args: args})
+			for _, a := range args {
+				if a.IsVar {
+					bodyVars[a.Var] = true
+				}
+			}
+		}
+	}
+
+	// Head insertions: tuples of J@p not in I@p (new or changed).
+	for _, rel := range tr.After.Relations() {
+		for _, t := range tr.After.Tuples(rel) {
+			if old, ok := tr.Before.Get(rel, t.Key()); ok && old.Equal(t) {
+				continue
+			}
+			args := make([]query.Term, len(t))
+			for i, v := range t {
+				args[i] = nu(v)
+			}
+			head = append(head, rule.Insert{Rel: rel, Args: args})
+		}
+	}
+	// Head deletions: keys of I@p gone from J@p.
+	for _, rel := range tr.Before.Relations() {
+		for _, t := range tr.Before.Tuples(rel) {
+			if !tr.After.HasKey(rel, t.Key()) {
+				head = append(head, rule.Delete{Rel: rel, Key: nu(t.Key())})
+			}
+		}
+	}
+	if len(head) == 0 {
+		return nil
+	}
+
+	// Negative body: keys of K(R, α) for p-visible R that are not visible
+	// keys of I@p. A term is included only when it is a constant or a
+	// variable already bound by the positive body; unbound variables are
+	// either head-only (globally fresh, hence never an existing key) or
+	// entirely unconstrained (the guard is vacuous over an infinite
+	// domain), so dropping the literal preserves the semantics.
+	for _, rel := range tr.Before.Relations() {
+		for _, k := range tr.Keys[rel] {
+			if tr.Before.HasKey(rel, k) {
+				continue
+			}
+			term := nu(k)
+			if term.IsVar && !bodyVars[term.Var] {
+				continue
+			}
+			body = append(body, query.KeyAtom{Neg: true, Rel: rel, Arg: term})
+		}
+	}
+
+	// Inequalities: distinct constants of the triple denote distinct
+	// values. Emit them for pairs where both sides are body-bound (or one
+	// is a program constant); head-only variables are fresh and therefore
+	// distinct from everything by the run semantics.
+	terms := make([]query.Term, 0, len(varOf))
+	vals := make([]data.Value, 0, len(varOf))
+	for v := range varOf {
+		vals = append(vals, v)
+	}
+	data.SortValues(vals)
+	for _, v := range vals {
+		terms = append(terms, varOf[v])
+	}
+	var ineqs query.Query
+	for i := 0; i < len(terms); i++ {
+		if !bodyVars[terms[i].Var] {
+			continue
+		}
+		for j := i + 1; j < len(terms); j++ {
+			if !bodyVars[terms[j].Var] {
+				continue
+			}
+			ineqs = append(ineqs, query.Compare{Neg: true, L: terms[i], R: terms[j]})
+		}
+		for _, c := range consts.Sorted() {
+			ineqs = append(ineqs, query.Compare{Neg: true, L: terms[i], R: query.C(c)})
+		}
+	}
+	body = append(body, ineqs...)
+
+	return &rule.Rule{Peer: schema.World, Head: head, Body: body, Origin: "synthesized"}
+}
+
+// canonicalRule renders a rule with variables renamed by order of first
+// appearance, for deduplication.
+func canonicalRule(r *rule.Rule) string {
+	ren := make(map[string]string)
+	name := func(t query.Term) string {
+		if !t.IsVar {
+			return t.String()
+		}
+		if n, ok := ren[t.Var]; ok {
+			return n
+		}
+		n := fmt.Sprintf("v%d", len(ren)+1)
+		ren[t.Var] = n
+		return n
+	}
+	var parts []string
+	for _, l := range r.Body {
+		switch l := l.(type) {
+		case query.Atom:
+			args := make([]string, len(l.Args))
+			for i, a := range l.Args {
+				args[i] = name(a)
+			}
+			parts = append(parts, fmt.Sprintf("a%v%s(%s)", l.Neg, l.Rel, strings.Join(args, ",")))
+		case query.KeyAtom:
+			parts = append(parts, fmt.Sprintf("k%v%s(%s)", l.Neg, l.Rel, name(l.Arg)))
+		case query.Compare:
+			a, b := name(l.L), name(l.R)
+			if a > b {
+				a, b = b, a
+			}
+			parts = append(parts, fmt.Sprintf("c%v%s%s", l.Neg, a, b))
+		}
+	}
+	sort.Strings(parts)
+	var hparts []string
+	for _, u := range r.Head {
+		switch u := u.(type) {
+		case rule.Insert:
+			args := make([]string, len(u.Args))
+			for i, a := range u.Args {
+				args[i] = name(a)
+			}
+			hparts = append(hparts, fmt.Sprintf("+%s(%s)", u.Rel, strings.Join(args, ",")))
+		case rule.Delete:
+			hparts = append(hparts, fmt.Sprintf("-%s(%s)", u.Rel, name(u.Key)))
+		}
+	}
+	sort.Strings(hparts)
+	return strings.Join(hparts, ";") + ":-" + strings.Join(parts, ",")
+}

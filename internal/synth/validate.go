@@ -1,0 +1,236 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+
+	"collabwf/internal/data"
+	"collabwf/internal/program"
+	"collabwf/internal/query"
+	"collabwf/internal/schema"
+	"collabwf/internal/view"
+)
+
+// ErrBudget is returned when the soundness search exceeds its node budget.
+var ErrBudget = errors.New("synth: validation budget exceeded")
+
+// MatchRun checks the completeness direction of the view-program definition
+// for one run: given a run r of the source program P, it constructs a run
+// of the synthesized P@p whose transitions replay exactly r@p (own events
+// verbatim, foreign events via ω-rules). It returns the matching run, or an
+// error describing the first transition that no ω-rule can realize.
+func MatchRun(res *Result, r *program.Run, peer schema.Peer) (*program.Run, error) {
+	target := view.Of(r, peer)
+	vrun := program.NewRun(res.Program)
+	for n, entry := range target.Entries {
+		if !entry.Omega {
+			rl := res.Program.Rule(entry.Event.Rule.Name)
+			if rl == nil {
+				return nil, fmt.Errorf("synth: view program lacks %s's rule %s", peer, entry.Event.Rule.Name)
+			}
+			e, err := program.NewEvent(rl, entry.Event.Val)
+			if err != nil {
+				return nil, err
+			}
+			if err := vrun.Append(e); err != nil {
+				return nil, fmt.Errorf("synth: own event %d not replayable: %w", n, err)
+			}
+		} else {
+			next, err := fireOmegaMatching(res, vrun, entry.After, peer)
+			if err != nil {
+				return nil, fmt.Errorf("synth: transition %d (to %s): %w", n, entry.After, err)
+			}
+			vrun = next
+		}
+		got := schema.ViewOf(vrun.Current(), res.Program.Schema, peer)
+		if !got.Equal(entry.After) {
+			return nil, fmt.Errorf("synth: after transition %d: view %s, want %s", n, got, entry.After)
+		}
+	}
+	return vrun, nil
+}
+
+// fireOmegaMatching extends vrun with one ω-event whose result view equals
+// target, trying every synthesized rule, body valuation, and assignment of
+// head-only variables to the target's new values.
+func fireOmegaMatching(res *Result, vrun *program.Run, target *schema.ViewInstance, peer schema.Peer) (*program.Run, error) {
+	// Values available for fresh variables: values of the target view the
+	// run has never seen.
+	seen := data.NewValueSet()
+	seen.AddAll(vrun.Prog.Constants())
+	for i := -1; i < vrun.Len(); i++ {
+		seen.AddAll(vrun.InstanceAt(i).ADom())
+	}
+	var freshCandidates []data.Value
+	for _, rel := range target.Relations() {
+		for _, t := range target.Tuples(rel) {
+			for _, v := range t {
+				if !v.IsNull() && !seen.Has(v) {
+					freshCandidates = append(freshCandidates, v)
+				}
+			}
+		}
+	}
+	freshCandidates = data.SortValues(freshCandidates)
+
+	for _, rl := range res.OmegaRules {
+		vi := schema.ViewOf(vrun.Current(), res.Program.Schema, schema.World)
+		for _, val := range rl.Body.Eval(vi, 0) {
+			assignments := []query.Valuation{val}
+			for _, fv := range rl.FreshVars() {
+				var next []query.Valuation
+				for _, base := range assignments {
+					for _, c := range freshCandidates {
+						taken := false
+						for _, b := range base {
+							if b == c {
+								taken = true
+								break
+							}
+						}
+						if taken {
+							continue
+						}
+						nv := base.Clone()
+						nv[fv] = c
+						next = append(next, nv)
+					}
+				}
+				assignments = next
+			}
+			for _, v := range assignments {
+				e, err := program.NewEvent(rl, v)
+				if err != nil {
+					continue
+				}
+				candidate := cloneRun(vrun)
+				if err := candidate.Append(e); err != nil {
+					continue
+				}
+				got := schema.ViewOf(candidate.Current(), res.Program.Schema, peer)
+				if got.Equal(target) {
+					return candidate, nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("no ω-rule realizes the transition")
+}
+
+// FindSourceRun checks the soundness direction for one run: given a run rv
+// of the synthesized P@p, it searches (bounded DFS) for a run of the source
+// program P whose p-view matches rv's transitions with ω-events collapsed.
+// maxDepth bounds the source run length; maxNodes the explored firings.
+func FindSourceRun(p *program.Program, peer schema.Peer, rv *program.Run, maxDepth, maxNodes int) (*program.Run, error) {
+	target := view.Of(rv, peer)
+	run := program.NewRun(p)
+	nodes := 0
+
+	var freshPoolIdx int
+	nextFresh := func() data.Value {
+		freshPoolIdx++
+		return data.Value(fmt.Sprintf("s%d", freshPoolIdx))
+	}
+
+	var dfs func(matched int) (*program.Run, error)
+	dfs = func(matched int) (*program.Run, error) {
+		if matched == len(target.Entries) {
+			return cloneRun(run), nil
+		}
+		if run.Len() >= maxDepth {
+			return nil, nil
+		}
+		entry := target.Entries[matched]
+		for _, c := range run.Candidates(0) {
+			nodes++
+			if nodes > maxNodes {
+				return nil, ErrBudget
+			}
+			// Fresh variables: try the values the target view will need,
+			// then a brand-new one.
+			val := c.Val.Clone()
+			fvs := c.Rule.FreshVars()
+			var freshVals []data.Value
+			if len(fvs) > 0 {
+				seen := data.NewValueSet()
+				seen.AddAll(p.Constants())
+				for i := -1; i < run.Len(); i++ {
+					seen.AddAll(run.InstanceAt(i).ADom())
+				}
+				for _, rel := range entry.After.Relations() {
+					for _, t := range entry.After.Tuples(rel) {
+						for _, v := range t {
+							if !v.IsNull() && !seen.Has(v) {
+								freshVals = append(freshVals, v)
+							}
+						}
+					}
+				}
+				freshVals = append(data.SortValues(freshVals), nextFresh())
+			}
+			assignments := []query.Valuation{val}
+			for _, fv := range fvs {
+				var next []query.Valuation
+				for _, base := range assignments {
+					for _, fvVal := range freshVals {
+						nv := base.Clone()
+						nv[fv] = fvVal
+						next = append(next, nv)
+					}
+				}
+				assignments = next
+			}
+			for _, v := range assignments {
+				e, err := program.NewEvent(c.Rule, v)
+				if err != nil {
+					continue
+				}
+				before := run
+				candidate := cloneRun(run)
+				if err := candidate.Append(e); err != nil {
+					continue
+				}
+				last := candidate.Len() - 1
+				visible := candidate.VisibleAt(last, peer)
+				nextMatched := matched
+				if visible {
+					// The transition must match the next target entry.
+					if entry.Omega == (e.Peer() == peer) {
+						continue
+					}
+					if !entry.Omega && !entry.Event.Equal(e) {
+						continue
+					}
+					got := schema.ViewOf(candidate.Current(), p.Schema, peer)
+					if !got.Equal(entry.After) {
+						continue
+					}
+					nextMatched = matched + 1
+				}
+				run = candidate
+				found, err := dfs(nextMatched)
+				run = before
+				if err != nil || found != nil {
+					return found, err
+				}
+			}
+		}
+		return nil, nil
+	}
+	found, err := dfs(0)
+	if err != nil {
+		return nil, err
+	}
+	if found == nil {
+		return nil, fmt.Errorf("synth: no source run of length ≤ %d matches the view-program run", maxDepth)
+	}
+	return found, nil
+}
+
+func cloneRun(r *program.Run) *program.Run {
+	out := program.NewRunFrom(r.Prog, r.Initial)
+	for i := 0; i < r.Len(); i++ {
+		out.MustAppend(r.Event(i))
+	}
+	return out
+}

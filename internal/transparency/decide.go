@@ -1,0 +1,178 @@
+package transparency
+
+import (
+	"fmt"
+	"sort"
+
+	"collabwf/internal/data"
+	"collabwf/internal/program"
+	"collabwf/internal/schema"
+	"collabwf/internal/view"
+)
+
+// BoundViolation witnesses a failure of h-boundedness: a minimum p-faithful
+// run of length h+1 on some initial instance, all of whose events but the
+// last are silent at p.
+type BoundViolation struct {
+	Initial *schema.Instance
+	Events  []*program.Event
+}
+
+// String renders the violation.
+func (v *BoundViolation) String() string {
+	s := fmt.Sprintf("initial %s:", v.Initial)
+	for _, e := range v.Events {
+		s += " " + e.String()
+	}
+	return s
+}
+
+// CheckBounded decides whether p is h-bounded for the peer (Definition 5.8,
+// Theorem 5.10): it searches for an instance I and a minimum p-faithful run
+// of length h+1 on I whose events are all silent at p except the last. A
+// nil violation means the program is h-bounded (relative to the search
+// caps; cap overflow returns ErrBudget instead).
+func CheckBounded(p *program.Program, peer schema.Peer, h int, opts Options) (*BoundViolation, error) {
+	s := newSearcher(p, peer, h, opts)
+	instances, err := s.instances()
+	if err != nil {
+		return nil, err
+	}
+	var found *BoundViolation
+	for _, in := range instances {
+		err := s.silentRuns(in, h+1, data.NewValueSet(), func(sr SilentRun) bool {
+			if sr.Run.Len() == h+1 {
+				found = &BoundViolation{Initial: sr.Initial, Events: sr.Run.Events()}
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if found != nil {
+			return found, nil
+		}
+	}
+	return nil, nil
+}
+
+// Bound finds the smallest h for which the program is h-bounded for the
+// peer, trying h = 0..maxH. It returns maxH+1, false if none is found.
+func Bound(p *program.Program, peer schema.Peer, maxH int, opts Options) (int, bool, error) {
+	for h := 0; h <= maxH; h++ {
+		v, err := CheckBounded(p, peer, h, opts)
+		if err != nil {
+			return 0, false, err
+		}
+		if v == nil {
+			return h, true, nil
+		}
+	}
+	return maxH + 1, false, nil
+}
+
+// TransparencyViolation witnesses a failure of transparency for p
+// (Definition 5.6, via the reformulation (†) in the proof of Theorem 5.11):
+// two p-fresh instances with the same p-view and a minimum p-faithful
+// silent-then-visible run applicable on the first but not equivalently on
+// the second.
+type TransparencyViolation struct {
+	I, J   *schema.Instance
+	Events []*program.Event
+	Reason string
+}
+
+// String renders the violation.
+func (v *TransparencyViolation) String() string {
+	s := fmt.Sprintf("fresh instances I=%s and J=%s agree for the peer, but", v.I, v.J)
+	for _, e := range v.Events {
+		s += " " + e.String()
+	}
+	return s + ": " + v.Reason
+}
+
+// CheckTransparent decides transparency of an h-bounded program for the
+// peer (Theorem 5.11): for every pair of p-fresh instances I, J over the
+// pool with I@p = J@p, every minimum p-faithful run α on I with all but the
+// last event silent (|α| ≤ h+1 by boundedness) must also be such a run on J
+// with α(I)@p = α(J)@p, whenever adom(J) ∩ new(α) = ∅ (the search draws new
+// values outside both instances, which is sound up to isomorphism). A nil
+// violation means the program is transparent for p relative to the caps.
+func CheckTransparent(p *program.Program, peer schema.Peer, h int, opts Options) (*TransparencyViolation, error) {
+	s := newSearcher(p, peer, h, opts)
+	fresh, err := s.freshInstances()
+	if err != nil {
+		return nil, err
+	}
+	// Group fresh instances by their p-view.
+	groups := make(map[string][]*schema.Instance)
+	for _, in := range fresh {
+		fp := schema.ViewOf(in, p.Schema, peer).Fingerprint()
+		groups[fp] = append(groups[fp], in)
+	}
+	var found *TransparencyViolation
+	groupKeys := make([]string, 0, len(groups))
+	for k := range groups {
+		groupKeys = append(groupKeys, k)
+	}
+	sort.Strings(groupKeys)
+	for _, gk := range groupKeys {
+		group := groups[gk]
+		if len(group) < 2 {
+			continue
+		}
+		for _, src := range group {
+			for _, dst := range group {
+				if src == dst {
+					continue
+				}
+				avoid := data.NewValueSet()
+				avoid.AddAll(dst.ADom())
+				err := s.silentRuns(src, h+1, avoid, func(sr SilentRun) bool {
+					if reason := replayMatches(s, sr, dst); reason != "" {
+						found = &TransparencyViolation{I: src, J: dst, Events: sr.Run.Events(), Reason: reason}
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					return nil, err
+				}
+				if found != nil {
+					return found, nil
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// replayMatches replays the silent run sr on instance dst and reports the
+// first divergence from the transparency requirements ("" if none): the
+// run must be applicable, all events but the last silent at the peer, the
+// last visible, minimum p-faithful, and the final views must agree.
+func replayMatches(s *searcher, sr SilentRun, dst *schema.Instance) string {
+	run := program.NewRunFrom(s.prog, dst)
+	for i, e := range sr.Run.Events() {
+		if err := run.Append(e); err != nil {
+			return fmt.Sprintf("event %d not applicable on J: %v", i, err)
+		}
+	}
+	n := run.Len()
+	for i := 0; i < n-1; i++ {
+		if run.VisibleAt(i, s.peer) {
+			return fmt.Sprintf("event %d is visible on J but silent on I", i)
+		}
+	}
+	if !run.VisibleAt(n-1, s.peer) {
+		return "last event is silent on J but visible on I"
+	}
+	if !s.isMinimumFaithful(run) {
+		return "run is not minimum p-faithful on J"
+	}
+	if !view.Of(sr.Run, s.peer).Equal(view.Of(run, s.peer)) {
+		return "final views differ: α(I)@p ≠ α(J)@p"
+	}
+	return ""
+}

@@ -1,0 +1,453 @@
+// Package transparency implements the static analyses of Section 5 of the
+// paper: p-fresh instances (Definition 5.5), minimum p-faithful runs,
+// the h-boundedness decision procedure (Theorem 5.10) and the transparency
+// decision procedure for h-bounded programs (Theorem 5.11).
+//
+// Both procedures are, as in the paper, exhaustive searches over instances
+// and event sequences built from a bounded constant pool C_m = const(P) ∪
+// {c₁, …}. The searches here are exact relative to their configured caps
+// (pool size, tuples per relation, node budgets); the defaults cover the
+// propositional and small-arity relational programs of the paper's
+// examples, and every cap overflow is reported as ErrBudget rather than
+// silently truncated.
+package transparency
+
+import (
+	"errors"
+	"fmt"
+
+	"collabwf/internal/data"
+	"collabwf/internal/faithful"
+	"collabwf/internal/program"
+	"collabwf/internal/query"
+	"collabwf/internal/schema"
+)
+
+// ErrBudget is returned when a search exceeds its configured bounds.
+var ErrBudget = errors.New("transparency: search budget exceeded")
+
+// Options configures the bounded searches.
+type Options struct {
+	// PoolFresh is the number of fresh constants added to const(P) to form
+	// the pool C (the c_m of the paper). 0 selects a default based on the
+	// program's variable usage and h.
+	PoolFresh int
+	// MaxTuplesPerRelation caps the instances enumerated. Default 2.
+	MaxTuplesPerRelation int
+	// MaxTuplesTotal caps the total number of tuples per enumerated
+	// instance across all relations (0 = no extra cap). Large schemas need
+	// it to keep the enumeration tractable; the certification is then
+	// relative to instances of that size.
+	MaxTuplesTotal int
+	// MaxInstances caps the number of instances enumerated. Default 50000.
+	MaxInstances int
+	// MaxNodes caps the number of search-tree nodes (event firings)
+	// explored. Default 500000.
+	MaxNodes int
+}
+
+func (o Options) withDefaults(p *program.Program, h int) Options {
+	if o.PoolFresh == 0 {
+		o.PoolFresh = (h + 2) * maxInt(1, p.MaxRuleVars())
+		if o.PoolFresh > 6 {
+			o.PoolFresh = 6 // keep the default enumeration tractable
+		}
+	}
+	if o.MaxTuplesPerRelation == 0 {
+		o.MaxTuplesPerRelation = 2
+	}
+	if o.MaxInstances == 0 {
+		o.MaxInstances = 50000
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 500000
+	}
+	return o
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Pool returns the constant pool C for program p: const(P) followed by n
+// fresh constants c1, c2, ….
+func Pool(p *program.Program, n int) []data.Value {
+	out := p.Constants().Sorted()
+	used := data.NewValueSet(out...)
+	added, i := 0, 0
+	for added < n {
+		i++
+		c := data.Value(fmt.Sprintf("c%d", i))
+		if used.Has(c) {
+			continue
+		}
+		out = append(out, c)
+		added++
+	}
+	return out
+}
+
+// searcher carries the shared state of the decision procedures.
+type searcher struct {
+	prog  *program.Program
+	peer  schema.Peer
+	opts  Options
+	pool  []data.Value
+	nodes int
+}
+
+func newSearcher(p *program.Program, peer schema.Peer, h int, opts Options) *searcher {
+	opts = opts.withDefaults(p, h)
+	return &searcher{prog: p, peer: peer, opts: opts, pool: Pool(p, opts.PoolFresh)}
+}
+
+// instances enumerates the instances over the pool with at most
+// MaxTuplesPerRelation tuples per relation, deduplicated up to isomorphism
+// over the pool's fresh constants (Lemma A.2 makes this sound). It returns
+// ErrBudget if the enumeration exceeds MaxInstances.
+func (s *searcher) instances() ([]*schema.Instance, error) {
+	db := s.prog.Schema.DB
+	// Candidate tuples per relation.
+	candidates := make(map[string][]data.Tuple)
+	for _, name := range db.Names() {
+		rel := db.Relation(name)
+		candidates[name] = enumerateTuples(rel.Arity(), s.pool)
+	}
+	results := []*schema.Instance{schema.NewInstance(db)}
+	seen := map[string]bool{canonicalFingerprint(results[0], s.freshSet()): true}
+	names := db.Names()
+	total := 0
+	var build func(ri int, cur *schema.Instance) error
+	build = func(ri int, cur *schema.Instance) error {
+		if ri == len(names) {
+			fp := canonicalFingerprint(cur, s.freshSet())
+			if !seen[fp] {
+				seen[fp] = true
+				results = append(results, cur.Clone())
+				if len(results) > s.opts.MaxInstances {
+					return fmt.Errorf("%w: more than %d instances", ErrBudget, s.opts.MaxInstances)
+				}
+			}
+			return nil
+		}
+		name := names[ri]
+		cands := candidates[name]
+		// Choose up to MaxTuplesPerRelation tuples with distinct keys.
+		var choose func(start, count int) error
+		choose = func(start, count int) error {
+			if err := build(ri+1, cur); err != nil {
+				return err
+			}
+			if count == s.opts.MaxTuplesPerRelation {
+				return nil
+			}
+			if s.opts.MaxTuplesTotal > 0 && total >= s.opts.MaxTuplesTotal {
+				return nil
+			}
+			for i := start; i < len(cands); i++ {
+				t := cands[i]
+				if cur.HasKey(name, t.Key()) {
+					continue
+				}
+				cur.MustPut(name, t)
+				total++
+				if err := choose(i+1, count+1); err != nil {
+					return err
+				}
+				total--
+				cur.Delete(name, t.Key())
+			}
+			return nil
+		}
+		return choose(0, 0)
+	}
+	empty := schema.NewInstance(db)
+	if err := build(0, empty); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// enumerateTuples lists all tuples of the given arity with a pool key and
+// pool-or-⊥ non-key values.
+func enumerateTuples(arity int, pool []data.Value) []data.Tuple {
+	withNull := append([]data.Value{data.Null}, pool...)
+	var out []data.Tuple
+	cur := make(data.Tuple, arity)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == arity {
+			out = append(out, cur.Clone())
+			return
+		}
+		opts := withNull
+		if i == 0 {
+			opts = pool // keys may not be ⊥
+		}
+		for _, v := range opts {
+			cur[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// freshSet returns the pool constants that are not program constants; these
+// are interchangeable under isomorphism.
+func (s *searcher) freshSet() data.ValueSet {
+	consts := s.prog.Constants()
+	out := data.NewValueSet()
+	for _, v := range s.pool {
+		if !consts.Has(v) {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+// canonicalFingerprint renames the fresh pool constants of in by order of
+// first appearance, yielding a fingerprint invariant under fresh-constant
+// permutations.
+func canonicalFingerprint(in *schema.Instance, fresh data.ValueSet) string {
+	ren := make(map[data.Value]data.Value)
+	next := 0
+	canon := schema.NewInstance(in.DB())
+	for _, name := range in.DB().Names() {
+		for _, t := range in.Tuples(name) {
+			ct := t.Clone()
+			for i, v := range ct {
+				if !fresh.Has(v) {
+					continue
+				}
+				r, ok := ren[v]
+				if !ok {
+					next++
+					r = data.Value(fmt.Sprintf("#%d", next))
+					ren[v] = r
+				}
+				ct[i] = r
+			}
+			canon.MustPut(name, ct)
+		}
+	}
+	return canon.Fingerprint()
+}
+
+// visibleEventsOn enumerates the events of the program applicable on `in`
+// and visible at the searcher's peer, for the p-fresh instance generation
+// of Definition 5.5. Head-only variables range over the pool constants
+// outside adom(I′) ∪ const(P), pairwise distinct: the definition's "event
+// of P" is read as respecting the run-level convention that such variables
+// denote newly invented values. (This is the reading under which both
+// claims of Example 5.7 hold — the plain hiring program is not transparent
+// for Sue, while its Stage-disciplined variant is: a planted invisible fact
+// cannot carry the current stage id, because the stage id is always new.)
+func (s *searcher) visibleEventsOn(in *schema.Instance) ([]*program.Event, error) {
+	var out []*program.Event
+	adom := in.ADom()
+	consts := s.prog.Constants()
+	for _, rl := range s.prog.Rules() {
+		vi := schema.ViewOf(in, s.prog.Schema, rl.Peer)
+		for _, val := range rl.Body.Eval(vi, 0) {
+			vals := []query.Valuation{val}
+			for _, fv := range rl.FreshVars() {
+				var next []query.Valuation
+				for _, base := range vals {
+					for _, c := range s.pool {
+						if adom.Has(c) || consts.Has(c) {
+							continue
+						}
+						dup := false
+						for _, prev := range rl.FreshVars() {
+							if prev != fv && base[prev] == c {
+								dup = true
+								break
+							}
+						}
+						if dup {
+							continue
+						}
+						nv := base.Clone()
+						nv[fv] = c
+						next = append(next, nv)
+					}
+				}
+				vals = next
+			}
+			for _, v := range vals {
+				s.nodes++
+				if s.nodes > s.opts.MaxNodes {
+					return nil, ErrBudget
+				}
+				e, err := program.NewEvent(rl, v)
+				if err != nil {
+					continue
+				}
+				after, _, err := program.Apply(in, e, s.prog.Schema)
+				if err != nil {
+					continue
+				}
+				if e.Peer() == s.peer || !schema.ViewOf(in, s.prog.Schema, s.peer).Equal(schema.ViewOf(after, s.prog.Schema, s.peer)) {
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// FreshInstances computes the p-fresh instances over the pool: the empty
+// instance plus every image e(I′) of an enumerated instance I′ under an
+// applicable event visible at p (Definition 5.5), deduplicated.
+func (s *searcher) freshInstances() ([]*schema.Instance, error) {
+	base, err := s.instances()
+	if err != nil {
+		return nil, err
+	}
+	var out []*schema.Instance
+	seen := make(map[string]bool)
+	add := func(in *schema.Instance) {
+		fp := in.Fingerprint()
+		if !seen[fp] {
+			seen[fp] = true
+			out = append(out, in)
+		}
+	}
+	add(schema.NewInstance(s.prog.Schema.DB))
+	for _, in := range base {
+		events, err := s.visibleEventsOn(in)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range events {
+			after, _, err := program.Apply(in, e, s.prog.Schema)
+			if err != nil {
+				continue
+			}
+			add(after)
+		}
+	}
+	return out, nil
+}
+
+// SilentRun is a minimum p-faithful run on an initial instance in which all
+// events but the last are silent at p and the last is visible.
+type SilentRun struct {
+	Initial *schema.Instance
+	Run     *program.Run
+}
+
+// Events returns the run's event sequence.
+func (sr SilentRun) Events() []*program.Event { return sr.Run.Events() }
+
+// silentRuns enumerates the minimum p-faithful runs from initial instance
+// `in` whose events are all silent at p except a visible last one, with
+// length ≤ maxLen. Head-only variables are instantiated with the first
+// unused pool constants (sound up to isomorphism, Lemma A.2); constants in
+// `avoid` are never used as fresh values (needed by the transparency check,
+// which requires adom(J) ∩ new(α) = ∅). Each discovered run is passed to
+// yield; enumeration stops early when yield returns false.
+func (s *searcher) silentRuns(in *schema.Instance, maxLen int, avoid data.ValueSet, yield func(SilentRun) bool) error {
+	run := program.NewRunFrom(s.prog, in)
+	stop := false
+	var dfs func(depth int) error
+	dfs = func(depth int) error {
+		if stop || depth >= maxLen {
+			return nil
+		}
+		cands := run.Candidates(0)
+		for _, c := range cands {
+			val := c.Val.Clone()
+			ok := true
+			for _, fv := range c.Rule.FreshVars() {
+				v, found := s.pickFresh(run, avoid)
+				if !found {
+					ok = false
+					break
+				}
+				val[fv] = v
+				avoid.Add(v) // reserve within this valuation
+			}
+			if !ok {
+				continue
+			}
+			s.nodes++
+			if s.nodes > s.opts.MaxNodes {
+				return ErrBudget
+			}
+			e, err := program.NewEvent(c.Rule, val)
+			if err != nil {
+				continue
+			}
+			if err := run.Append(e); err != nil {
+				for _, fv := range c.Rule.FreshVars() {
+					delete(avoid, val[fv])
+				}
+				continue
+			}
+			last := run.Len() - 1
+			if run.VisibleAt(last, s.peer) {
+				if s.isMinimumFaithful(run) {
+					if !yield(SilentRun{Initial: in, Run: cloneRun(run)}) {
+						stop = true
+					}
+				}
+			} else if err := dfs(depth + 1); err != nil {
+				return err
+			}
+			// Backtrack: rebuild the run without the last event.
+			run = rebuild(s.prog, in, run, last)
+			for _, fv := range c.Rule.FreshVars() {
+				delete(avoid, val[fv])
+			}
+			if stop {
+				return nil
+			}
+		}
+		return nil
+	}
+	return dfs(0)
+}
+
+// pickFresh returns the first pool constant unused by the run and not in
+// avoid.
+func (s *searcher) pickFresh(run *program.Run, avoid data.ValueSet) (data.Value, bool) {
+	consts := s.prog.Constants()
+	used := run.Current().ADom()
+	for i := -1; i < run.Len(); i++ {
+		used.AddAll(run.InstanceAt(i).ADom())
+	}
+	for _, v := range s.pool {
+		if consts.Has(v) || used.Has(v) || avoid.Has(v) {
+			continue
+		}
+		return v, true
+	}
+	return data.Null, false
+}
+
+// isMinimumFaithful reports whether the run equals its own minimum
+// p-faithful scenario: T_p^ω(α, visible(α)) covers every event.
+func (s *searcher) isMinimumFaithful(run *program.Run) bool {
+	a := faithful.NewAnalysis(run)
+	fix := faithful.Fixpoint(a, faithful.NewSeq(run.VisibleEvents(s.peer)...), s.peer)
+	return fix.Len() == run.Len()
+}
+
+// rebuild reconstructs the run from its first n events (a cheap backtrack:
+// instances are immutable snapshots, so replay reuses the stored events).
+func rebuild(p *program.Program, initial *schema.Instance, run *program.Run, n int) *program.Run {
+	out := program.NewRunFrom(p, initial)
+	for i := 0; i < n; i++ {
+		out.MustAppend(run.Event(i))
+	}
+	return out
+}
+
+func cloneRun(run *program.Run) *program.Run {
+	return rebuild(run.Prog, run.Initial, run, run.Len())
+}

@@ -1,0 +1,282 @@
+package transparency
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"collabwf/internal/data"
+	"collabwf/internal/faithful"
+	"collabwf/internal/program"
+	"collabwf/internal/schema"
+	"collabwf/internal/workload"
+)
+
+func TestPool(t *testing.T) {
+	p := workload.Hiring()
+	pool := Pool(p, 3)
+	// Hiring has no program constants, so the pool is exactly c1..c3.
+	if len(pool) != 3 || pool[0] != "c1" || pool[2] != "c3" {
+		t.Fatalf("pool=%v", pool)
+	}
+	inst := workload.HittingSetInstance{N: 1, Sets: [][]int{{0}}}
+	hs, _, err := workload.HittingSet(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2 := Pool(hs, 2)
+	// const(P) = {"0"} plus two fresh constants.
+	if len(pool2) != 3 || pool2[0] != "0" {
+		t.Fatalf("pool=%v", pool2)
+	}
+}
+
+// Chain(d) is d-bounded but not (d−1)-bounded for p.
+func TestCheckBoundedChain(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		p, _, err := workload.Chain(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := CheckBounded(p, "p", d, Options{PoolFresh: 1, MaxTuplesPerRelation: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			t.Fatalf("Chain(%d) must be %d-bounded, got violation %s", d, d, v)
+		}
+		if d > 1 {
+			v, err = CheckBounded(p, "p", d-1, Options{PoolFresh: 1, MaxTuplesPerRelation: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == nil {
+				t.Fatalf("Chain(%d) must not be %d-bounded", d, d-1)
+			}
+			if len(v.Events) != d {
+				t.Fatalf("violation length %d, want %d (%s)", len(v.Events), d, v)
+			}
+		}
+	}
+}
+
+func TestBoundSearch(t *testing.T) {
+	p, _, err := workload.Chain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok, err := Bound(p, "p", 5, Options{PoolFresh: 1, MaxTuplesPerRelation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || h != 3 {
+		t.Fatalf("Bound=%d ok=%v, want 3", h, ok)
+	}
+}
+
+// The hiring program is 3-bounded for sue (clear is visible; the longest
+// silent-relevant chain is cfo_ok, approve, then the visible hire).
+func TestCheckBoundedHiring(t *testing.T) {
+	p := workload.Hiring()
+	v, err := CheckBounded(p, "sue", 3, Options{PoolFresh: 2, MaxTuplesPerRelation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("hiring is 3-bounded for sue, got %s", v)
+	}
+	v, err = CheckBounded(p, "sue", 1, Options{PoolFresh: 2, MaxTuplesPerRelation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("hiring is not 1-bounded for sue (cfo_ok·approve·hire is silent-relevant of length 2 before the visible hire)")
+	}
+}
+
+// Example 5.7: the hiring program (with or without cfoOK) is not
+// transparent for Sue.
+func TestCheckTransparentHiringFails(t *testing.T) {
+	p := workload.Hiring()
+	v, err := CheckTransparent(p, "sue", 3, Options{PoolFresh: 2, MaxTuplesPerRelation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("hiring must not be transparent for sue")
+	}
+	p2 := workload.HiringTransparentNoCfo()
+	v2, err := CheckTransparent(p2, "sue", 2, Options{PoolFresh: 2, MaxTuplesPerRelation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 == nil {
+		t.Fatal("hiring without cfoOK is still not transparent for sue (pre-existing Approved facts)")
+	}
+}
+
+// Chain programs are transparent for p: every p-fresh instance reachable by
+// a visible event already contains the whole chain (A_d only appears
+// together with its predecessors), so no two fresh instances with the same
+// p-view ever disagree on an invisible prerequisite. Note the contrast with
+// Hiring, where the visible "clear" event can land on instances that
+// already carry invisible Approved facts.
+func TestCheckTransparentChain(t *testing.T) {
+	small := Options{PoolFresh: 1, MaxTuplesPerRelation: 1}
+	for _, d := range []int{1, 2} {
+		p, _, err := workload.Chain(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := CheckTransparent(p, "p", d, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			t.Fatalf("Chain(%d) is transparent for p, got %s", d, v)
+		}
+	}
+}
+
+func TestBudgetsReported(t *testing.T) {
+	p := workload.Hiring()
+	if _, err := CheckBounded(p, "sue", 3, Options{MaxNodes: 1}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if _, err := CheckBounded(p, "sue", 3, Options{MaxInstances: 1}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestEnumerateTuples(t *testing.T) {
+	ts := enumerateTuples(2, []data.Value{"a", "b"})
+	// keys: a,b; second attr: ⊥,a,b → 6 tuples.
+	if len(ts) != 6 {
+		t.Fatalf("enumerateTuples gave %d", len(ts))
+	}
+	for _, tup := range ts {
+		if tup.Key().IsNull() {
+			t.Fatal("keys may not be ⊥")
+		}
+	}
+}
+
+func TestInstancesDedupIsomorphic(t *testing.T) {
+	p := workload.Hiring()
+	s := newSearcher(p, "sue", 1, Options{MaxTuplesPerRelation: 1, PoolFresh: 2})
+	ins, err := s.instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 4 unary relations, ≤1 tuple each, and 2 interchangeable fresh
+	// constants, instances are determined up to iso by (which relations
+	// are populated) × (equality pattern of the keys used).
+	for _, in := range ins {
+		for _, other := range ins {
+			if in != other && in.Fingerprint() == other.Fingerprint() {
+				t.Fatal("duplicate instances")
+			}
+		}
+	}
+	if len(ins) < 16 { // at least all subsets with equal keys
+		t.Fatalf("suspiciously few instances: %d", len(ins))
+	}
+}
+
+func TestFreshInstancesIncludeEmptyAndImages(t *testing.T) {
+	p := workload.Hiring()
+	s := newSearcher(p, "sue", 2, Options{MaxTuplesPerRelation: 1, PoolFresh: 2})
+	fresh, err := s.freshInstances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundEmpty, foundCleared := false, false
+	for _, in := range fresh {
+		if in.Empty() {
+			foundEmpty = true
+		}
+		if in.Count("Cleared") == 1 && in.Count("Approved") == 0 {
+			foundCleared = true
+		}
+	}
+	if !foundEmpty || !foundCleared {
+		t.Fatalf("fresh instances missing expected members (empty=%v cleared=%v)", foundEmpty, foundCleared)
+	}
+}
+
+// Proposition 5.3: the transitive-closure program has no view program for
+// p because it is not h-bounded for any h. For h = 1 the decision
+// procedure finds the violation by exhaustive search; for larger h the
+// witnesses are constructed directly (the paper's argument): from an
+// R-path of n edges, the silent S-chain copy·step^(n-1)·xfer is a minimum
+// p-faithful run of length n+1.
+func TestTransitiveClosureUnbounded(t *testing.T) {
+	p, err := workload.TransitiveClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := CheckBounded(p, "p", 1, Options{
+		PoolFresh:            6,
+		MaxTuplesPerRelation: 1,
+		MaxTuplesTotal:       1,
+		MaxInstances:         200000,
+		MaxNodes:             2000000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("h=1: the transitive-closure program must not be 1-bounded")
+	}
+	if len(v.Events) != 2 {
+		t.Fatalf("h=1: violation length %d (%s)", len(v.Events), v)
+	}
+
+	// Constructed witnesses for h = 2..4.
+	for n := 2; n <= 4; n++ {
+		run, err := transitiveClosureWitness(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Len() != n+1 {
+			t.Fatalf("witness for n=%d has %d events", n, run.Len())
+		}
+		for i := 0; i < run.Len()-1; i++ {
+			if run.VisibleAt(i, "p") {
+				t.Fatalf("n=%d: event %d must be silent at p", n, i)
+			}
+		}
+		if !run.VisibleAt(run.Len()-1, "p") {
+			t.Fatalf("n=%d: last event must be visible at p", n)
+		}
+		a := faithful.NewAnalysis(run)
+		fix := faithful.Fixpoint(a, faithful.NewSeq(run.VisibleEvents("p")...), "p")
+		if fix.Len() != run.Len() {
+			t.Fatalf("n=%d: witness not minimum p-faithful (%d of %d events)", n, fix.Len(), run.Len())
+		}
+	}
+}
+
+// transitiveClosureWitness builds, on an initial instance holding an R-path
+// v0 → v1 → … → vn, the silent run copy · step^(n-1) · xfer deriving
+// T(v0, vn).
+func transitiveClosureWitness(p *program.Program, n int) (*program.Run, error) {
+	init := schema.NewInstance(p.Schema.DB)
+	node := func(i int) data.Value { return data.Value(fmt.Sprintf("v%d", i)) }
+	for i := 0; i < n; i++ {
+		init.MustPut("R", data.Tuple{data.Value(fmt.Sprintf("e%d", i)), node(i), node(i + 1)})
+	}
+	r := program.NewRunFrom(p, init)
+	if _, err := r.FireRule("copy", map[string]data.Value{"k": "e0", "x": node(0), "y": node(1)}); err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if _, err := r.FireRule("step", map[string]data.Value{"x": node(0), "y": node(i), "z": node(i + 1)}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := r.FireRule("xfer", map[string]data.Value{"x": node(0), "y": node(n)}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

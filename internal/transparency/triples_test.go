@@ -1,0 +1,69 @@
+package transparency
+
+import (
+	"strings"
+	"testing"
+
+	"collabwf/internal/workload"
+)
+
+func TestEnumerateTriplesChain(t *testing.T) {
+	p, _, err := workload.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum, err := EnumerateTriples(p, "p", 2, Options{PoolFresh: 1, MaxTuplesPerRelation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enum.FreshInstances == 0 || len(enum.Triples) == 0 {
+		t.Fatalf("enum=%+v", enum)
+	}
+	for _, tr := range enum.Triples {
+		// Every triple ends with a p-visible event and is silent before.
+		n := tr.Run.Len()
+		if !tr.Run.VisibleAt(n-1, "p") {
+			t.Fatal("last event must be visible")
+		}
+		for i := 0; i < n-1; i++ {
+			if tr.Run.VisibleAt(i, "p") {
+				t.Fatal("prefix events must be silent")
+			}
+		}
+		// Views are taken on the restricted instance and its image.
+		if tr.Before == nil || tr.After == nil {
+			t.Fatal("views missing")
+		}
+		if len(tr.Keys["A2"]) == 0 {
+			t.Fatalf("K(A2, α) must contain the visible key, got %v", tr.Keys)
+		}
+	}
+	// The canonical triple: from ∅, the whole chain fires.
+	found := false
+	for _, tr := range enum.Triples {
+		if tr.Initial.Empty() && tr.Run.Len() == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the full-chain triple from ∅ is missing")
+	}
+}
+
+func TestViolationStrings(t *testing.T) {
+	p := workload.Hiring()
+	v, err := CheckBounded(p, "sue", 1, Options{PoolFresh: 2, MaxTuplesPerRelation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || !strings.Contains(v.String(), "initial") {
+		t.Fatalf("violation string: %v", v)
+	}
+	tv, err := CheckTransparent(p, "sue", 3, Options{PoolFresh: 2, MaxTuplesPerRelation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv == nil || !strings.Contains(tv.String(), "fresh instances") {
+		t.Fatalf("transparency violation string: %v", tv)
+	}
+}

@@ -1,0 +1,81 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"collabwf/internal/data"
+	"collabwf/internal/program"
+	"collabwf/internal/workload"
+)
+
+func TestViewOfApproval(t *testing.T) {
+	_, r := workload.Approval()
+	// Applicant: only h visible, labeled ω (performed by the assistant).
+	v := Of(r, "applicant")
+	if v.Len() != 1 {
+		t.Fatalf("applicant view length %d", v.Len())
+	}
+	e := v.Entries[0]
+	if !e.Omega || e.Event != nil || e.Index != 3 {
+		t.Fatalf("entry=%+v", e)
+	}
+	if !e.After.HasKey("Approval", workload.PropKey) {
+		t.Fatal("view instance must show the approval")
+	}
+	// Assistant: sees everything; its own event h carries the event label.
+	va := Of(r, "assistant")
+	if va.Len() != 4 {
+		t.Fatalf("assistant view length %d", va.Len())
+	}
+	last := va.Entries[3]
+	if last.Omega || last.Event == nil || last.Event.Rule.Name != "h" {
+		t.Fatalf("assistant's own event mislabeled: %+v", last)
+	}
+}
+
+func TestViewEquality(t *testing.T) {
+	_, r1 := workload.Approval()
+	_, r2 := workload.Approval()
+	if !Of(r1, "applicant").Equal(Of(r2, "applicant")) {
+		t.Fatal("identical runs must have equal views")
+	}
+	// A run missing the final event differs.
+	short := program.NewRunFrom(r1.Prog, r1.Initial)
+	for i := 0; i < 3; i++ {
+		short.MustAppend(r1.Event(i))
+	}
+	if Of(r1, "applicant").Equal(Of(short, "applicant")) {
+		t.Fatal("views of different runs must differ")
+	}
+	// Same length, different labels: e·h vs g·h for the cto (who sees Ok):
+	// both runs produce Ok then Approval, but the cto's own-event labels
+	// differ (e is cto's, g is ceo's).
+	eh := program.NewRunFrom(r1.Prog, r1.Initial)
+	eh.MustAppend(r1.Event(0)) // e by cto
+	eh.MustAppend(r1.Event(3)) // h
+	gh := program.NewRunFrom(r1.Prog, r1.Initial)
+	gh.MustAppend(r1.Event(2)) // g by ceo
+	gh.MustAppend(r1.Event(3)) // h
+	if Of(eh, "cto").Equal(Of(gh, "cto")) {
+		t.Fatal("cto must distinguish its own event from the ceo's")
+	}
+	// The applicant cannot distinguish them (both are ω with equal views).
+	if !Of(eh, "applicant").Equal(Of(gh, "applicant")) {
+		t.Fatal("e·h and g·h are observationally equal for the applicant")
+	}
+}
+
+func TestViewString(t *testing.T) {
+	p := workload.Hiring()
+	r := program.NewRun(p)
+	r.MustFireRule("clear", map[string]data.Value{"x": "sue"})
+	s := Of(r, "sue").String()
+	if !strings.Contains(s, "ω") || !strings.Contains(s, "Cleared") {
+		t.Fatalf("String()=%q", s)
+	}
+	own := Of(r, "hr").String()
+	if !strings.Contains(own, "clear@hr") {
+		t.Fatalf("String()=%q", own)
+	}
+}

@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"fmt"
+
+	"collabwf/internal/cond"
+	"collabwf/internal/data"
+	"collabwf/internal/program"
+	"collabwf/internal/query"
+	"collabwf/internal/rule"
+	"collabwf/internal/schema"
+)
+
+// Lit is a literal of a propositional formula over variables 0..n-1.
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+// CNF is a formula in conjunctive normal form.
+type CNF [][]Lit
+
+// Eval evaluates the formula under the assignment (true for set variables).
+func (f CNF) Eval(assign []bool) bool {
+	for _, clause := range f {
+		sat := false
+		for _, l := range clause {
+			v := assign[l.Var]
+			if l.Neg {
+				v = !v
+			}
+			if v {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfiable decides the formula by brute force (used as ground truth in
+// tests; n is small).
+func (f CNF) Satisfiable(n int) bool {
+	assign := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range assign {
+			assign[i] = mask&(1<<i) != 0
+		}
+		if f.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// Formula builds the program and run of the Theorem 3.4 reduction: the run
+// ρ = r_x1 … r_xn · e is a minimal scenario at peer p iff φ is
+// unsatisfiable. The formula must be false under the all-true assignment
+// (assumption (*) of the proof).
+//
+// The schema has one relation R(K, X1..Xn, Q); peer p_xi sees (K, Xi), peer
+// q sees (K, Q), and peer p sees K under the selection
+//
+//	σ_p = (Q = "1") ∧ (∧_i Xi = "1"  ∨  σ_φ)
+//
+// where σ_φ reads the assignment off the Xi columns.
+func Formula(n int, f CNF) (*program.Program, *program.Run, error) {
+	for _, clause := range f {
+		for _, l := range clause {
+			if l.Var < 0 || l.Var >= n {
+				return nil, nil, fmt.Errorf("workload: literal variable %d out of range", l.Var)
+			}
+		}
+	}
+	allTrue := make([]bool, n)
+	for i := range allTrue {
+		allTrue[i] = true
+	}
+	if f.Eval(allTrue) {
+		return nil, nil, fmt.Errorf("workload: formula must be false under the all-true assignment")
+	}
+
+	attrs := make([]data.Attr, 0, n+1)
+	for i := 0; i < n; i++ {
+		attrs = append(attrs, data.Attr(fmt.Sprintf("X%d", i)))
+	}
+	attrs = append(attrs, "Q")
+	rel := schema.MustRelation("R", attrs...)
+	db := schema.MustDatabase(rel)
+	s := schema.NewCollaborative(db)
+
+	for i := 0; i < n; i++ {
+		s.MustAddView(schema.MustView(rel, schema.Peer(fmt.Sprintf("px%d", i)),
+			[]data.Attr{data.Attr(fmt.Sprintf("X%d", i))}, nil))
+	}
+	s.MustAddView(schema.MustView(rel, "q", []data.Attr{"Q"}, nil))
+
+	// σ_p.
+	beta := make([]cond.Condition, 0, n)
+	for i := 0; i < n; i++ {
+		beta = append(beta, cond.EqConst{Attr: data.Attr(fmt.Sprintf("X%d", i)), Const: "1"})
+	}
+	var phi []cond.Condition
+	for _, clause := range f {
+		var lits []cond.Condition
+		for _, l := range clause {
+			var c cond.Condition = cond.EqConst{Attr: data.Attr(fmt.Sprintf("X%d", l.Var)), Const: "1"}
+			if l.Neg {
+				c = cond.Not{C: c}
+			}
+			lits = append(lits, c)
+		}
+		phi = append(phi, cond.Or{Cs: lits})
+	}
+	sigmaP := cond.And{Cs: []cond.Condition{
+		cond.EqConst{Attr: "Q", Const: "1"},
+		cond.Or{Cs: []cond.Condition{cond.And{Cs: beta}, cond.And{Cs: phi}}},
+	}}
+	s.MustAddView(schema.MustView(rel, "p", nil, sigmaP))
+
+	var rules []*rule.Rule
+	for i := 0; i < n; i++ {
+		rules = append(rules, &rule.Rule{
+			Name: fmt.Sprintf("rx%d", i),
+			Peer: schema.Peer(fmt.Sprintf("px%d", i)),
+			Head: []rule.Update{rule.Insert{Rel: "R", Args: []query.Term{query.C("0"), query.C("1")}}},
+			Body: query.Query{},
+		})
+	}
+	rules = append(rules, &rule.Rule{
+		Name: "e", Peer: "q",
+		Head: []rule.Update{rule.Insert{Rel: "R", Args: []query.Term{query.C("0"), query.C("1")}}},
+		Body: query.Query{},
+	})
+	prog, err := program.New(s, rules)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := program.NewRun(prog)
+	for i := 0; i < n; i++ {
+		if _, err := r.FireRule(fmt.Sprintf("rx%d", i), nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	if _, err := r.FireRule("e", nil); err != nil {
+		return nil, nil, err
+	}
+	return prog, r, nil
+}
+
+// Crowdsourcing builds a task-marketplace workflow with the given number of
+// workers — the kind of collaborative application the paper's introduction
+// motivates. A requester posts tasks; workers claim them and submit work;
+// the platform accepts one submission (closing the task) and issues a
+// payment. Workers see the task board, their own claims, work, and
+// payments; the platform sees everything; the requester sees tasks,
+// open-markers and payments.
+//
+//	post    at requester: +Task(t, d), +Open(t) :- (t, d fresh)
+//	claim_i at w_i:       +Claim(c, t, "w_i") :- Task(t, d), Open(t)
+//	submit_i at w_i:      +Work(x, t, "w_i") :- Claim(c, t, "w_i")
+//	accept  at platform:  -Open(t), +Done(t, w) :- Open(t), Work(x, t, w)
+//	pay     at platform:  +Payment(y, t, w) :- Done(t, w)
+func Crowdsourcing(workers int) (*program.Program, error) {
+	task := schema.MustRelation("Task", "Desc")
+	open := schema.MustRelation("Open")
+	claim := schema.MustRelation("Claim", "Task", "Worker")
+	work := schema.MustRelation("Work", "Task", "Worker")
+	done := schema.MustRelation("Done", "Worker")
+	payment := schema.MustRelation("Payment", "Task", "Worker")
+	db := schema.MustDatabase(task, open, claim, work, done, payment)
+	s := schema.NewCollaborative(db)
+
+	full := func(p schema.Peer, rels ...*schema.Relation) {
+		for _, r := range rels {
+			s.MustAddView(schema.MustView(r, p, r.Attrs[1:], nil))
+		}
+	}
+	full("platform", task, open, claim, work, done, payment)
+	full("requester", task, open, payment)
+	workerNames := make([]schema.Peer, workers)
+	for i := 0; i < workers; i++ {
+		w := schema.Peer(fmt.Sprintf("w%d", i))
+		workerNames[i] = w
+		full(w, task, open)
+		own := cond.EqConst{Attr: "Worker", Const: data.Value(w)}
+		s.MustAddView(schema.MustView(claim, w, []data.Attr{"Task", "Worker"}, own))
+		s.MustAddView(schema.MustView(work, w, []data.Attr{"Task", "Worker"}, own))
+		s.MustAddView(schema.MustView(done, w, []data.Attr{"Worker"}, own))
+		s.MustAddView(schema.MustView(payment, w, []data.Attr{"Task", "Worker"}, own))
+	}
+
+	rules := []*rule.Rule{
+		{
+			Name: "post", Peer: "requester",
+			Head: []rule.Update{
+				rule.Insert{Rel: "Task", Args: []query.Term{query.V("t"), query.V("d")}},
+				rule.Insert{Rel: "Open", Args: []query.Term{query.V("t")}},
+			},
+			Body: query.Query{},
+		},
+		{
+			Name: "accept", Peer: "platform",
+			Head: []rule.Update{
+				rule.Delete{Rel: "Open", Key: query.V("t")},
+				rule.Insert{Rel: "Done", Args: []query.Term{query.V("t"), query.V("w")}},
+			},
+			Body: query.Query{
+				query.Atom{Rel: "Open", Args: []query.Term{query.V("t")}},
+				query.Atom{Rel: "Work", Args: []query.Term{query.V("x"), query.V("t"), query.V("w")}},
+			},
+		},
+		{
+			Name: "pay", Peer: "platform",
+			Head: []rule.Update{rule.Insert{Rel: "Payment", Args: []query.Term{query.V("y"), query.V("t"), query.V("w")}}},
+			Body: query.Query{query.Atom{Rel: "Done", Args: []query.Term{query.V("t"), query.V("w")}}},
+		},
+	}
+	for i, w := range workerNames {
+		rules = append(rules,
+			&rule.Rule{
+				Name: fmt.Sprintf("claim%d", i), Peer: w,
+				Head: []rule.Update{rule.Insert{Rel: "Claim",
+					Args: []query.Term{query.V("c"), query.V("t"), query.C(data.Value(w))}}},
+				Body: query.Query{
+					query.Atom{Rel: "Task", Args: []query.Term{query.V("t"), query.V("d")}},
+					query.Atom{Rel: "Open", Args: []query.Term{query.V("t")}},
+				},
+			},
+			&rule.Rule{
+				Name: fmt.Sprintf("submit%d", i), Peer: w,
+				Head: []rule.Update{rule.Insert{Rel: "Work",
+					Args: []query.Term{query.V("x"), query.V("t"), query.C(data.Value(w))}}},
+				Body: query.Query{query.Atom{Rel: "Claim",
+					Args: []query.Term{query.V("c"), query.V("t"), query.C(data.Value(w))}}},
+			},
+		)
+	}
+	return program.New(s, rules)
+}
+
+// TransitiveClosure builds the program of Proposition 5.3: peer q derives
+// in S the transitive closure of the edge relation R and transfers closed
+// pairs into T; peer p sees R and T but not S. Deriving a T-fact takes a
+// silent S-chain as long as the underlying R-path, so the program is not
+// h-bounded for p for any h — which is exactly why no view program for p
+// can exist (the insertion of a T-pair is conditioned on an R-path of
+// arbitrary length).
+//
+//	seed  at p: +R(k, x, y)             (fresh nodes)
+//	grow  at p: +R(k2, y, z)  :- R(k, x, y)   (extend a path, fresh z)
+//	copy  at q: +S(k2, x, y)  :- R(k, x, y)
+//	step  at q: +S(k3, x, z)  :- S(k1, x, y), R(k2, y, z), x != z
+//	xfer  at q: +T(k2, x, y)  :- S(k1, x, y)
+func TransitiveClosure() (*program.Program, error) {
+	r := schema.MustRelation("R", "From", "To")
+	sRel := schema.MustRelation("S", "From", "To")
+	tRel := schema.MustRelation("T", "From", "To")
+	db := schema.MustDatabase(r, sRel, tRel)
+	s := schema.NewCollaborative(db)
+	for _, rel := range []*schema.Relation{r, sRel, tRel} {
+		s.MustAddView(schema.MustView(rel, "q", rel.Attrs[1:], nil))
+	}
+	s.MustAddView(schema.MustView(r, "p", r.Attrs[1:], nil))
+	s.MustAddView(schema.MustView(tRel, "p", tRel.Attrs[1:], nil))
+
+	rules := []*rule.Rule{
+		{Name: "seed", Peer: "p",
+			Head: []rule.Update{rule.Insert{Rel: "R", Args: []query.Term{query.V("k"), query.V("x"), query.V("y")}}},
+			Body: query.Query{}},
+		{Name: "grow", Peer: "p",
+			Head: []rule.Update{rule.Insert{Rel: "R", Args: []query.Term{query.V("k2"), query.V("y"), query.V("z")}}},
+			Body: query.Query{query.Atom{Rel: "R", Args: []query.Term{query.V("k"), query.V("x"), query.V("y")}}}},
+		{Name: "copy", Peer: "q",
+			Head: []rule.Update{rule.Insert{Rel: "S", Args: []query.Term{query.V("k2"), query.V("x"), query.V("y")}}},
+			Body: query.Query{query.Atom{Rel: "R", Args: []query.Term{query.V("k"), query.V("x"), query.V("y")}}}},
+		{Name: "step", Peer: "q",
+			Head: []rule.Update{rule.Insert{Rel: "S", Args: []query.Term{query.V("k3"), query.V("x"), query.V("z")}}},
+			Body: query.Query{
+				query.Atom{Rel: "S", Args: []query.Term{query.V("k1"), query.V("x"), query.V("y")}},
+				query.Atom{Rel: "R", Args: []query.Term{query.V("k2"), query.V("y"), query.V("z")}},
+				query.Compare{Neg: true, L: query.V("x"), R: query.V("z")}}},
+		{Name: "xfer", Peer: "q",
+			Head: []rule.Update{rule.Insert{Rel: "T", Args: []query.Term{query.V("k2"), query.V("x"), query.V("y")}}},
+			Body: query.Query{query.Atom{Rel: "S", Args: []query.Term{query.V("k1"), query.V("x"), query.V("y")}}}},
+	}
+	return program.New(s, rules)
+}
