@@ -5,25 +5,41 @@
 // explanations of what it observed. Optional guards enforce transparency
 // and h-boundedness for selected peers by rejecting violating submissions.
 //
+// With -data-dir the coordinator is durable: accepted events are written
+// to a write-ahead log before any peer observes them, the run prefix is
+// snapshotted periodically, and a restart recovers the full run (guards
+// included) from snapshot + WAL tail. SIGINT/SIGTERM shut the server down
+// gracefully: in-flight submissions drain, a final snapshot is written,
+// and the WAL is closed.
+//
 // Usage:
 //
 //	wfserve -spec workflow.wf [-addr :8080] [-guard sue=3 -guard bob=2]
+//	        [-data-dir ./data] [-fsync always|interval|never]
+//	        [-snapshot-every 256] [-shutdown-timeout 10s]
+//	        [-request-timeout 30s]
 //
 // Endpoints: POST /submit, GET /view, /explain, /scenario, /transitions,
-// /trace (see internal/server).
+// /trace, /healthz, /readyz (see internal/server).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"collabwf/internal/parse"
 	"collabwf/internal/schema"
 	"collabwf/internal/server"
+	"collabwf/internal/wal"
 )
 
 type guardFlags []string
@@ -34,6 +50,12 @@ func (g *guardFlags) Set(s string) error { *g = append(*g, s); return nil }
 func main() {
 	specPath := flag.String("spec", "", "workflow specification file")
 	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
+	snapshotEvery := flag.Int("snapshot-every", 256, "snapshot the run prefix every N accepted events (0 = only at shutdown)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request timeout (0 = unbounded)")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum /submit body size in bytes")
 	var guards guardFlags
 	flag.Var(&guards, "guard", "peer=h transparency guard (repeatable)")
 	flag.Parse()
@@ -51,7 +73,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c := server.New(spec.Name, spec.Program)
+
+	var c *server.Coordinator
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		c, err = server.Recover(spec.Name, spec.Program, server.DurabilityConfig{
+			Dir:           *dataDir,
+			Sync:          policy,
+			SnapshotEvery: *snapshotEvery,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if n := c.Len(); n > 0 {
+			fmt.Printf("recovered %d events from %s\n", n, *dataDir)
+		}
+	} else {
+		c = server.New(spec.Name, spec.Program)
+	}
+
 	for _, g := range guards {
 		peer, hs, ok := strings.Cut(g, "=")
 		if !ok {
@@ -62,14 +105,51 @@ func main() {
 			fatal(fmt.Errorf("bad -guard budget %q: %v", hs, err))
 		}
 		if err := c.Guard(schema.Peer(peer), h); err != nil {
+			if c.Len() > 0 {
+				// A recovered run already has events; guards persisted in
+				// the snapshot are re-installed by Recover, so the flag is
+				// redundant at best and contradictory at worst.
+				fmt.Fprintf(os.Stderr, "wfserve: ignoring -guard %s on a recovered run: %v\n", g, err)
+				continue
+			}
 			fatal(err)
 		}
 		fmt.Printf("guarding transparency and %d-boundedness for %s\n", h, peer)
 	}
-	fmt.Printf("serving workflow %s on %s\n", spec.Name, *addr)
-	if err := http.ListenAndServe(*addr, server.Handler(c)); err != nil {
+
+	handler := server.NewHandler(c, server.HTTPOptions{
+		RequestTimeout: *requestTimeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving workflow %s on %s\n", spec.Name, *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// Listener failure before any signal.
 		fatal(err)
+	case <-ctx.Done():
 	}
+	stop()
+	fmt.Println("wfserve: shutting down, draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "wfserve: shutdown:", err)
+	}
+	// Final snapshot + WAL close (no-op for the in-memory coordinator).
+	if err := c.Close(); err != nil {
+		fatal(fmt.Errorf("closing coordinator: %w", err))
+	}
+	fmt.Println("wfserve: state persisted, bye")
 }
 
 func fatal(err error) {

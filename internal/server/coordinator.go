@@ -22,6 +22,7 @@ import (
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
 	"collabwf/internal/trace"
+	"collabwf/internal/wal"
 )
 
 // Notification tells a subscriber about one transition visible to it.
@@ -67,8 +68,21 @@ type Coordinator struct {
 
 	subs   map[schema.Peer]map[int]chan Notification
 	nextID int
-	// dropped counts notifications lost to slow subscribers.
+	// dropped counts notifications lost to slow subscribers. It counts
+	// delivery attempts on accepted events only: a guard- or WAL-rejected
+	// submission never reaches notify, so it can neither deliver nor drop.
 	dropped int
+
+	// log, when non-nil, makes the coordinator durable: every accepted
+	// event is appended (log-before-accept) and the run prefix is
+	// snapshotted every snapshotEvery events. See durable.go.
+	log           *wal.Log
+	snapshotEvery int
+	sinceSnapshot int
+	// lastSnapErr remembers a failed background snapshot (the events are
+	// still safe in the WAL); surfaced via Ready.
+	lastSnapErr error
+	closed      bool
 }
 
 // New starts a coordinator for the program from the empty instance.
@@ -101,6 +115,15 @@ func (c *Coordinator) Guard(peer schema.Peer, h int) error {
 	}
 	c.guards[peer] = h
 	c.guardMonitors[peer] = design.NewMonitor(c.run, peer, h)
+	// Guards are part of the durable configuration: persist them so a
+	// recovered coordinator enforces the same policy.
+	if c.log != nil {
+		if err := c.writeSnapshotLocked(); err != nil {
+			delete(c.guards, peer)
+			delete(c.guardMonitors, peer)
+			return fmt.Errorf("server: persisting guard: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -110,6 +133,9 @@ func (c *Coordinator) Guard(peer schema.Peer, h int) error {
 func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[string]data.Value) (*SubmitResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("server: coordinator is shut down")
+	}
 	rl := c.prog.Rule(ruleName)
 	if rl == nil {
 		return nil, fmt.Errorf("server: unknown rule %s", ruleName)
@@ -133,6 +159,15 @@ func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[str
 		}
 	}
 	idx := c.run.Len() - 1
+	// Log-before-accept: the event must be durable before any peer can
+	// observe it. A WAL failure rejects the submission and rolls the run
+	// back, so the in-memory state never diverges ahead of disk.
+	if c.log != nil {
+		if err := c.log.Append(wal.Record{Seq: idx, Event: trace.EncodeEvent(e)}); err != nil {
+			c.rollbackTo(prevLen)
+			return nil, fmt.Errorf("server: event not durable, rejected: %w", err)
+		}
+	}
 	res := &SubmitResult{Index: idx}
 	for _, u := range e.Updates {
 		res.Updates = append(res.Updates, u.String())
@@ -143,6 +178,15 @@ func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[str
 		}
 	}
 	c.notify(idx)
+	if c.log != nil {
+		c.sinceSnapshot++
+		if c.snapshotEvery > 0 && c.sinceSnapshot >= c.snapshotEvery {
+			// A failed snapshot is not fatal — the events are safe in the
+			// WAL and recovery just replays a longer tail — but it is
+			// remembered and surfaced via Ready.
+			c.lastSnapErr = c.writeSnapshotLocked()
+		}
+	}
 	return res, nil
 }
 
@@ -156,15 +200,30 @@ func (c *Coordinator) sortedGuards() []schema.Peer {
 	return out
 }
 
-// rollbackTo rebuilds the run from its first n events, resetting the
-// per-peer explainers (their maintainers reference the replaced run).
+// rollbackTo rebuilds the run from its first n events after a rejected
+// submission (guard violation or WAL failure). Rejection is invisible to
+// every observer: notify runs only after an event is accepted, so rejected
+// events never reach a subscriber channel, and the explainers and guard
+// monitors are rebuilt against the restored run so Explain/Scenario answers
+// are exactly what they were before the attempt. Only the run length, the
+// subscriber channels' contents, and the dropped counter are guaranteed
+// unchanged — all three are asserted by TestGuardRejectionLeavesNoTrace.
 func (c *Coordinator) rollbackTo(n int) {
 	fresh := program.NewRunFrom(c.prog, c.run.Initial)
 	for i := 0; i < n; i++ {
 		fresh.MustAppend(c.run.Event(i))
 	}
 	c.run = fresh
-	c.explainers = make(map[schema.Peer]*core.Explainer)
+	// Re-seed the explainers that peers had built up: their maintainers
+	// reference the replaced run, so recreate them on the restored run (and
+	// sync eagerly, restoring the exact pre-rejection state).
+	old := c.explainers
+	c.explainers = make(map[schema.Peer]*core.Explainer, len(old))
+	for peer := range old {
+		ex := core.NewExplainer(fresh, peer)
+		ex.Sync()
+		c.explainers[peer] = ex
+	}
 	for peer, h := range c.guards {
 		c.guardMonitors[peer] = design.NewMonitor(fresh, peer, h)
 	}
@@ -248,7 +307,8 @@ func (c *Coordinator) Subscribe(peer schema.Peer, buffer int) (<-chan Notificati
 	return ch, cancel, nil
 }
 
-// View renders the peer's current view of the database.
+// View renders the peer's current view of the database. On an empty run
+// (ViewAt index −1) this is the peer's view of the initial instance.
 func (c *Coordinator) View(peer schema.Peer) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"collabwf/internal/design"
+	"collabwf/internal/program"
+	"collabwf/internal/schema"
+	"collabwf/internal/trace"
+	"collabwf/internal/wal"
+)
+
+// DurabilityConfig selects where and how a coordinator persists its run.
+type DurabilityConfig struct {
+	// Dir is the data directory holding wal.log and snapshot.json.
+	Dir string
+	// Sync is the WAL fsync policy (default wal.SyncAlways).
+	Sync wal.SyncPolicy
+	// SyncInterval bounds the time between fsyncs under wal.SyncInterval.
+	SyncInterval time.Duration
+	// SnapshotEvery snapshots the run prefix after that many accepted
+	// events, keeping the WAL tail (and recovery time) short. 0 disables
+	// automatic snapshots; one is still written by Close.
+	SnapshotEvery int
+	// Failpoints, when non-nil, injects WAL faults (tests only).
+	Failpoints *wal.Failpoints
+}
+
+// NewDurable starts a durable coordinator rooted at cfg.Dir. If the
+// directory already holds a run it is recovered first — NewDurable and
+// Recover are the same operation; the empty directory is just the trivial
+// recovery.
+func NewDurable(name string, p *program.Program, cfg DurabilityConfig) (*Coordinator, error) {
+	return Recover(name, p, cfg)
+}
+
+// Recover reconstructs a durable coordinator from cfg.Dir: it replays the
+// snapshot's run prefix, re-applies the WAL tail (skipping records the
+// snapshot already covers, truncating a torn trailing record rather than
+// failing), re-installs the persisted guards, and rebuilds the per-peer
+// explainers and guard monitors. Every replayed event passes the full run
+// conditions again, so a tampered log is rejected, not replayed.
+func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinator, error) {
+	log, err := wal.Open(cfg.Dir, wal.Options{
+		Sync:         cfg.Sync,
+		SyncInterval: cfg.SyncInterval,
+		Failpoints:   cfg.Failpoints,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	c := New(name, p)
+	c.log = log
+	c.snapshotEvery = cfg.SnapshotEvery
+
+	snap := log.LoadedSnapshot()
+	if snap != nil {
+		if snap.Workflow != "" {
+			c.name = snap.Workflow
+		}
+		run, err := snap.Trace.Replay(p)
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("server: replaying snapshot: %w", err)
+		}
+		c.run = run
+	}
+	for _, rec := range log.LoadedTail() {
+		if rec.Seq < c.run.Len() {
+			// Already covered by the snapshot (crash between snapshot
+			// rename and log reset).
+			continue
+		}
+		if rec.Seq != c.run.Len() {
+			log.Close()
+			return nil, fmt.Errorf("server: WAL gap: record %d follows run of length %d", rec.Seq, c.run.Len())
+		}
+		if err := applyRecord(c.run, rec.Event); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("server: replaying WAL record %d: %w", rec.Seq, err)
+		}
+	}
+	// Guards were installed before the run started; recreate their monitors
+	// over the recovered run (NewMonitor processes existing events).
+	if snap != nil {
+		for peer, h := range snap.Guards {
+			sp := schema.Peer(peer)
+			if !p.Schema.HasPeer(sp) {
+				log.Close()
+				return nil, fmt.Errorf("server: persisted guard for unknown peer %s", peer)
+			}
+			c.guards[sp] = h
+			c.guardMonitors[sp] = design.NewMonitor(c.run, sp, h)
+		}
+	}
+	return c, nil
+}
+
+// Ready reports whether the coordinator can accept submissions: recovery
+// complete, not shut down, and (when durable) the WAL writable. A failed
+// background snapshot is also surfaced here — events remain durable in the
+// WAL, but the operator should know the tail is growing.
+func (c *Coordinator) Ready() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("server: coordinator is shut down")
+	}
+	if c.log != nil {
+		if err := c.log.Healthy(); err != nil {
+			return err
+		}
+		if c.lastSnapErr != nil {
+			return fmt.Errorf("server: last snapshot failed: %w", c.lastSnapErr)
+		}
+	}
+	return nil
+}
+
+// Durable reports whether the coordinator persists its run.
+func (c *Coordinator) Durable() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log != nil
+}
+
+// Snapshot forces a snapshot of the current run prefix.
+func (c *Coordinator) Snapshot() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log == nil {
+		return fmt.Errorf("server: coordinator is not durable")
+	}
+	return c.writeSnapshotLocked()
+}
+
+// Close shuts the coordinator down: further submissions are rejected, a
+// final snapshot is written, and the WAL is closed. Idempotent; a nil
+// error means the full state is durable in the snapshot alone.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.log == nil {
+		return nil
+	}
+	snapErr := c.writeSnapshotLocked()
+	if err := c.log.Close(); err != nil && snapErr == nil {
+		snapErr = err
+	}
+	return snapErr
+}
+
+// writeSnapshotLocked persists the current run prefix and guards. Callers
+// hold the lock.
+func (c *Coordinator) writeSnapshotLocked() error {
+	guards := make(map[string]int, len(c.guards))
+	for p, h := range c.guards {
+		guards[string(p)] = h
+	}
+	snap := &wal.Snapshot{
+		Workflow: c.name,
+		Guards:   guards,
+		Len:      c.run.Len(),
+		Trace:    trace.FromRun(c.name, c.run),
+	}
+	if err := c.log.WriteSnapshot(snap); err != nil {
+		return err
+	}
+	c.sinceSnapshot = 0
+	c.lastSnapErr = nil
+	return nil
+}
+
+// applyRecord decodes one WAL record into an event and appends it to the
+// run, re-checking all run conditions.
+func applyRecord(r *program.Run, rec trace.EventRecord) error {
+	e, err := rec.Decode(r.Prog)
+	if err != nil {
+		return err
+	}
+	return r.Append(e)
+}

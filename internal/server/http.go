@@ -2,15 +2,27 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"collabwf/internal/data"
 	"collabwf/internal/schema"
 )
 
-// Handler exposes a Coordinator as a JSON HTTP API:
+// HTTPOptions tunes the graceful-degradation envelope around the API.
+type HTTPOptions struct {
+	// RequestTimeout bounds each request (503 on expiry); ≤ 0 disables.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the /submit request body; ≤ 0 means 1 MiB.
+	MaxBodyBytes int64
+}
+
+const defaultMaxBody = 1 << 20
+
+// Handler exposes a Coordinator as a JSON HTTP API with default options:
 //
 //	POST /submit        {"peer": "hr", "rule": "clear", "bindings": {"x": "sue"}}
 //	GET  /view?peer=p
@@ -18,9 +30,24 @@ import (
 //	GET  /scenario?peer=p
 //	GET  /transitions?peer=p&from=0
 //	GET  /trace
+//	GET  /healthz       liveness: the process serves requests
+//	GET  /readyz        readiness: recovery complete and the WAL writable
 //
-// Every response is JSON; errors use {"error": "..."} with a 4xx status.
+// Every response is JSON; errors use {"error": "..."} with a 4xx/5xx
+// status. Malformed request bodies get 400; submissions the coordinator
+// rejects (guard violations, inapplicable rules, WAL failures) get 409.
+// Handlers are wrapped in panic recovery; see NewHandler for timeouts and
+// body-size caps.
 func Handler(c *Coordinator) http.Handler {
+	return NewHandler(c, HTTPOptions{})
+}
+
+// NewHandler is Handler with explicit options.
+func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -32,8 +59,22 @@ func Handler(c *Coordinator) http.Handler {
 			Rule     string            `json:"rule"`
 			Bindings map[string]string `json:"bindings"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			status := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, status, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		// A body with trailing garbage after the JSON object is malformed,
+		// not a second request.
+		if dec.More() {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: trailing data"))
 			return
 		}
 		bindings := make(map[string]data.Value, len(req.Bindings))
@@ -99,7 +140,20 @@ func Handler(c *Coordinator) http.Handler {
 			httpError(w, http.StatusInternalServerError, err)
 		}
 	})
-	return mux
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if err := c.Ready(); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, map[string]any{"status": "ready", "events": c.Len(), "durable": c.Durable()})
+	})
+
+	return Recovery(WithTimeout(opts.RequestTimeout, mux))
 }
 
 func peerParam(r *http.Request) schema.Peer {

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Recovery turns a handler panic into a 500 JSON error instead of killing
+// the serving goroutine's connection (and, for panics escaping ServeHTTP
+// in other setups, the process). http.ErrAbortHandler is re-panicked per
+// its contract.
+func Recovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// WithTimeout bounds every request: a handler that exceeds d gets its
+// context cancelled and the client a 503 JSON error. d ≤ 0 disables the
+// bound.
+func WithTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	body := `{"error":"request timed out"}`
+	h := http.TimeoutHandler(next, d, body)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// TimeoutHandler writes the body verbatim; set the type up front so
+		// the timeout response is JSON like every other response.
+		w.Header().Set("Content-Type", "application/json")
+		h.ServeHTTP(w, r)
+	})
+}

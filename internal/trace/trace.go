@@ -43,6 +43,30 @@ type EventRecord struct {
 	Valuation map[string]string `json:"valuation"`
 }
 
+// EncodeEvent serializes one event in the trace wire form. The WAL reuses
+// this record-level encoding, so a log entry and a trace entry are the
+// same bytes.
+func EncodeEvent(e *program.Event) EventRecord {
+	rec := EventRecord{Rule: e.Rule.Name, Valuation: make(map[string]string, len(e.Val))}
+	for k, v := range e.Val {
+		rec.Valuation[k] = string(v)
+	}
+	return rec
+}
+
+// Decode converts the record back into an event of program p.
+func (rec EventRecord) Decode(p *program.Program) (*program.Event, error) {
+	rl := p.Rule(rec.Rule)
+	if rl == nil {
+		return nil, fmt.Errorf("trace: unknown rule %q", rec.Rule)
+	}
+	val := make(query.Valuation, len(rec.Valuation))
+	for k, v := range rec.Valuation {
+		val[k] = data.Value(v)
+	}
+	return program.NewEvent(rl, val)
+}
+
 // FromRun extracts a trace from a run.
 func FromRun(name string, r *program.Run) *Trace {
 	t := &Trace{Workflow: name}
@@ -56,11 +80,7 @@ func FromRun(name string, r *program.Run) *Trace {
 		}
 	}
 	for _, e := range r.Events() {
-		rec := EventRecord{Rule: e.Rule.Name, Valuation: make(map[string]string, len(e.Val))}
-		for k, v := range e.Val {
-			rec.Valuation[k] = string(v)
-		}
-		t.Events = append(t.Events, rec)
+		t.Events = append(t.Events, EncodeEvent(e))
 	}
 	return t
 }
@@ -80,24 +100,26 @@ func (t *Trace) Replay(p *program.Program) (*program.Run, error) {
 		}
 	}
 	r := program.NewRunFrom(p, initial)
-	for i, rec := range t.Events {
-		rl := p.Rule(rec.Rule)
-		if rl == nil {
-			return nil, fmt.Errorf("trace: event %d: unknown rule %q", i, rec.Rule)
-		}
-		val := make(query.Valuation, len(rec.Valuation))
-		for k, v := range rec.Valuation {
-			val[k] = data.Value(v)
-		}
-		e, err := program.NewEvent(rl, val)
-		if err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, err)
-		}
-		if err := r.Append(e); err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, err)
-		}
+	if err := t.ApplyTo(r); err != nil {
+		return nil, err
 	}
 	return r, nil
+}
+
+// ApplyTo appends the trace's events to an existing run, re-checking every
+// run condition. WAL recovery uses this to replay a tail of records onto a
+// snapshot-restored run.
+func (t *Trace) ApplyTo(r *program.Run) error {
+	for i, rec := range t.Events {
+		e, err := rec.Decode(r.Prog)
+		if err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if err := r.Append(e); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Write encodes the trace as indented JSON.

@@ -1,0 +1,91 @@
+package wal
+
+import "sync"
+
+// Failpoints injects failures into a Log for crash and fault testing:
+// appends that fail before touching disk, partial writes (a record torn
+// mid-line, as a real crash would leave it), and fsync errors. All hooks
+// are safe to arm and disarm concurrently with appends.
+type Failpoints struct {
+	mu sync.Mutex
+	// failBefore rejects the append of the given seq before any bytes are
+	// written.
+	failBefore map[int]error
+	// partial maps seq → number of bytes of the record to write before the
+	// append "crashes".
+	partial map[int]int
+	// nextSync is returned (and cleared) by the next sync attempt.
+	nextSync error
+}
+
+// NewFailpoints returns an empty failpoint set.
+func NewFailpoints() *Failpoints {
+	return &Failpoints{failBefore: make(map[int]error), partial: make(map[int]int)}
+}
+
+// FailAppend arms a failure for the append of record seq: it returns err
+// without writing anything.
+func (fp *Failpoints) FailAppend(seq int, err error) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.failBefore[seq] = err
+}
+
+// TornWrite arms a partial write for record seq: only n bytes of the
+// encoded record reach the file, then the append fails — simulating a
+// crash mid-write.
+func (fp *Failpoints) TornWrite(seq, n int) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.partial[seq] = n
+}
+
+// FailNextSync arms an error for the next fsync attempt.
+func (fp *Failpoints) FailNextSync(err error) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.nextSync = err
+}
+
+// Reset disarms every failpoint.
+func (fp *Failpoints) Reset() {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.failBefore = make(map[int]error)
+	fp.partial = make(map[int]int)
+	fp.nextSync = nil
+}
+
+func (fp *Failpoints) beforeAppend(seq int) error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if err, ok := fp.failBefore[seq]; ok {
+		delete(fp.failBefore, seq)
+		return err
+	}
+	return nil
+}
+
+// partialWrite reports how many bytes of a size-byte record to write
+// before failing; ok is false when no tear is armed for seq.
+func (fp *Failpoints) partialWrite(seq, size int) (int, bool) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	n, ok := fp.partial[seq]
+	if !ok {
+		return 0, false
+	}
+	delete(fp.partial, seq)
+	if n > size {
+		n = size
+	}
+	return n, true
+}
+
+func (fp *Failpoints) syncErr() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	err := fp.nextSync
+	fp.nextSync = nil
+	return err
+}

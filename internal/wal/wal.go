@@ -1,0 +1,396 @@
+// Package wal provides the durability substrate for the master server: a
+// write-ahead log of accepted events plus periodic snapshots of the run
+// prefix. The log is a sequence of JSON lines, one Record per accepted
+// event (reusing trace.EventRecord for the payload), so a crashed
+// coordinator is reconstructed by replaying the snapshot trace and then the
+// WAL tail. Torn trailing records — the signature of a crash mid-write —
+// are truncated on open, never fatal.
+//
+// The intended discipline is log-before-accept: the coordinator appends an
+// event's record (and, under the "always" policy, fsyncs it) before the
+// event becomes observable to any peer. If Append fails the caller must
+// roll the in-memory state back, so memory never runs ahead of disk.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"collabwf/internal/trace"
+)
+
+// SyncPolicy selects when the log fsyncs appended records.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs after every append: an accepted event survives any
+	// crash. This is the default.
+	SyncAlways SyncPolicy = "always"
+	// SyncInterval fsyncs at most once per Options.SyncInterval; a crash
+	// may lose the records appended since the last sync (they are still
+	// valid on disk unless the OS lost them).
+	SyncInterval SyncPolicy = "interval"
+	// SyncNever leaves syncing to the OS page cache.
+	SyncNever SyncPolicy = "never"
+)
+
+// ParsePolicy converts a flag string into a SyncPolicy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncInterval, SyncNever:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Record is one durable entry: the event's absolute position in the run
+// plus its serialized form. The sequence number makes replay idempotent —
+// records already covered by the snapshot (a crash can land between
+// snapshot rename and log reset) are skipped on recovery.
+type Record struct {
+	Seq   int               `json:"seq"`
+	Event trace.EventRecord `json:"event"`
+}
+
+// Snapshot is the durable prefix of a coordinator: the replayable trace of
+// the first Len events together with the installed guards. It is written
+// atomically (temp file + rename), so a reader sees either the previous or
+// the new snapshot, never a torn one.
+type Snapshot struct {
+	Workflow string         `json:"workflow,omitempty"`
+	Guards   map[string]int `json:"guards,omitempty"`
+	Len      int            `json:"len"`
+	Trace    *trace.Trace   `json:"trace"`
+}
+
+// Options configures a Log.
+type Options struct {
+	// Sync is the fsync policy; empty means SyncAlways.
+	Sync SyncPolicy
+	// SyncInterval is the maximum time between fsyncs under SyncInterval;
+	// zero means 100ms.
+	SyncInterval time.Duration
+	// Failpoints, when non-nil, lets tests inject write, partial-write and
+	// sync failures.
+	Failpoints *Failpoints
+}
+
+const (
+	logName      = "wal.log"
+	snapshotName = "snapshot.json"
+)
+
+// Log is an append-only write-ahead log rooted at a directory, holding
+// wal.log (JSON lines of Records) and snapshot.json. Safe for concurrent
+// use.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	f    *os.File
+	opts Options
+
+	// end is the offset of the end of the last fully-written record; a
+	// failed append truncates back to it.
+	end      int64
+	lastSync time.Time
+	// broken is set when an append failed AND the repair truncate failed
+	// too: the on-disk tail is untrusted and the log refuses further
+	// appends.
+	broken error
+
+	loadedSnapshot *Snapshot
+	loadedTail     []Record
+	tornBytes      int64
+}
+
+// Open opens (creating if necessary) the log rooted at dir, loading the
+// snapshot and scanning the existing records. A torn trailing record is
+// truncated away; its byte count is reported by TornBytes.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.Sync == "" {
+		opts.Sync = SyncAlways
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	if err := l.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	if err := l.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(l.end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return l, nil
+}
+
+// loadSnapshot reads snapshot.json if present.
+func (l *Log) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(l.dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("wal: corrupt snapshot (rename is atomic; this is not crash damage): %w", err)
+	}
+	l.loadedSnapshot = &s
+	return nil
+}
+
+// scan reads the record lines, keeping the offset of the last good record
+// and truncating anything after it (a torn final write, or garbage).
+func (l *Log) scan() error {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	fi, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	size := fi.Size()
+	r := bufio.NewReader(l.f)
+	var off int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A final line without its newline is a torn record.
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		var rec Record
+		if uerr := json.Unmarshal(bytes.TrimSpace(line), &rec); uerr != nil {
+			// Corrupt interior line: everything from here on is untrusted.
+			break
+		}
+		l.loadedTail = append(l.loadedTail, rec)
+		off += int64(len(line))
+	}
+	l.end = off
+	if off < size {
+		l.tornBytes = size - off
+		if err := l.f.Truncate(off); err != nil {
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadedSnapshot returns the snapshot found at Open time (nil if none).
+func (l *Log) LoadedSnapshot() *Snapshot { return l.loadedSnapshot }
+
+// LoadedTail returns the records found in the log at Open time.
+func (l *Log) LoadedTail() []Record { return l.loadedTail }
+
+// TornBytes reports how many trailing bytes were truncated at Open time.
+func (l *Log) TornBytes() int64 { return l.tornBytes }
+
+// Dir returns the log's root directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Append durably adds one record. On failure nothing of the record remains
+// on disk (the log truncates back to the last good record) and the caller
+// must treat the event as rejected. If even the repair fails, the log
+// becomes broken and refuses further appends.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("wal: log is broken: %w", l.broken)
+	}
+	if fp := l.opts.Failpoints; fp != nil {
+		if err := fp.beforeAppend(rec.Seq); err != nil {
+			return err
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	line = append(line, '\n')
+	if fp := l.opts.Failpoints; fp != nil {
+		if n, ok := fp.partialWrite(rec.Seq, len(line)); ok {
+			// Simulate a crash mid-write: some bytes land, then the write
+			// "fails". Repair by truncating back.
+			_, _ = l.f.Write(line[:n])
+			return l.repair(fmt.Errorf("wal: injected partial write after %d bytes", n))
+		}
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return l.repair(fmt.Errorf("wal: %w", err))
+	}
+	if err := l.maybeSync(); err != nil {
+		// The record may not be durable; take it back so memory and disk
+		// agree that it was never accepted.
+		return l.repair(err)
+	}
+	l.end += int64(len(line))
+	return nil
+}
+
+// repair truncates the file back to the last good record after a failed
+// append. Called with the lock held.
+func (l *Log) repair(cause error) error {
+	if err := l.f.Truncate(l.end); err != nil {
+		l.broken = fmt.Errorf("append failed (%v) and repair failed: %w", cause, err)
+		return fmt.Errorf("wal: %w", l.broken)
+	}
+	if _, err := l.f.Seek(l.end, io.SeekStart); err != nil {
+		l.broken = fmt.Errorf("append failed (%v) and repair failed: %w", cause, err)
+		return fmt.Errorf("wal: %w", l.broken)
+	}
+	return cause
+}
+
+// maybeSync fsyncs according to the policy. Called with the lock held.
+func (l *Log) maybeSync() error {
+	switch l.opts.Sync {
+	case SyncNever:
+		return nil
+	case SyncInterval:
+		if time.Since(l.lastSync) < l.opts.SyncInterval {
+			return nil
+		}
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if fp := l.opts.Failpoints; fp != nil {
+		if err := fp.syncErr(); err != nil {
+			return err
+		}
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("wal: log is broken: %w", l.broken)
+	}
+	return l.syncLocked()
+}
+
+// Healthy returns nil when the log can accept appends.
+func (l *Log) Healthy() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("wal: log is broken: %w", l.broken)
+	}
+	return nil
+}
+
+// WriteSnapshot atomically replaces the snapshot and resets the log: after
+// it returns, recovery replays snap.Trace and then whatever records land
+// after it. A crash between the snapshot rename and the log reset is
+// harmless — the leftover records have Seq < snap.Len and recovery skips
+// them.
+func (l *Log) WriteSnapshot(snap *Snapshot) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("wal: log is broken: %w", l.broken)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	tmp := filepath.Join(l.dir, snapshotName+".tmp")
+	if err := writeFileSync(tmp, data); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	// Reset the log: the snapshot now covers everything in it.
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: resetting log after snapshot: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.end = 0
+	return nil
+}
+
+// Close syncs (best effort when already broken) and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var syncErr error
+	if l.broken == nil && l.opts.Sync != SyncNever {
+		syncErr = l.syncLocked()
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncErr
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
