@@ -175,35 +175,42 @@ func BenchmarkE5FromScratch(b *testing.B) {
 // E6 — Theorem 5.10: h-boundedness decision.
 func BenchmarkE6Boundedness(b *testing.B) {
 	for _, d := range []int{2, 3} {
-		b.Run(fmt.Sprintf("chain=%d", d), func(b *testing.B) {
-			p, _, err := workload.Chain(d)
-			if err != nil {
-				b.Fatal(err)
-			}
-			opts := transparency.Options{PoolFresh: 1, MaxTuplesPerRelation: 1}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := transparency.CheckBounded(p, "p", d, opts); err != nil {
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("chain=%d/workers=%d", d, w), func(b *testing.B) {
+				p, _, err := workload.Chain(d)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				opts := transparency.Options{PoolFresh: 1, MaxTuplesPerRelation: 1, Parallelism: w}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := transparency.CheckBounded(p, "p", d, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
-// E7 — Theorem 5.11: transparency decision on the hiring program.
+// E7 — Theorem 5.11: transparency decision on the hiring program, at
+// increasing worker-pool widths (verdict and witness are width-invariant).
 func BenchmarkE7Transparency(b *testing.B) {
-	p := workload.Hiring()
-	opts := transparency.Options{PoolFresh: 2, MaxTuplesPerRelation: 1}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		v, err := transparency.CheckTransparent(p, "sue", 3, opts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if v == nil {
-			b.Fatal("hiring must not be transparent")
-		}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := workload.Hiring()
+			opts := transparency.Options{PoolFresh: 2, MaxTuplesPerRelation: 1, Parallelism: w}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := transparency.CheckTransparent(p, "sue", 3, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v == nil {
+					b.Fatal("hiring must not be transparent")
+				}
+			}
+		})
 	}
 }
 

@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	wfbench [-quick] [-only E3,E5]
+//	wfbench [-quick] [-only E3,E5] [-parallel N] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"collabwf/internal/bench"
@@ -20,7 +22,25 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	parallel := flag.Int("parallel", 0, "worker-pool width for the parallel searches (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	bench.Parallelism = *parallel
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -41,7 +61,22 @@ func main() {
 		}
 		fmt.Println(tbl.Render())
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 	if failed > 0 {
+		// The deferred profile writers must run before the exit.
+		pprof.StopCPUProfile()
 		os.Exit(1)
 	}
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wfsynth -spec workflow.wf -peer sue -h 3 [-pool 2] [-tuples 1] [-force]
+//	wfsynth -spec workflow.wf -peer sue -h 3 [-pool 2] [-tuples 1] [-parallel N] [-force]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	h := flag.Int("h", 3, "boundedness budget")
 	pool := flag.Int("pool", 2, "fresh constants in the search pool")
 	tuples := flag.Int("tuples", 1, "max tuples per relation in enumerated instances")
+	parallel := flag.Int("parallel", 0, "worker-pool width for the decider searches (0 = GOMAXPROCS)")
 	force := flag.Bool("force", false, "synthesize even if transparency fails")
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 	if !spec.Program.Schema.HasPeer(p) {
 		fatal(fmt.Errorf("unknown peer %s", p))
 	}
-	opts := transparency.Options{PoolFresh: *pool, MaxTuplesPerRelation: *tuples}
+	opts := transparency.Options{PoolFresh: *pool, MaxTuplesPerRelation: *tuples, Parallelism: *parallel}
 
 	bv, err := transparency.CheckBounded(spec.Program, p, *h, opts)
 	if err != nil {

@@ -48,6 +48,7 @@ import (
 	"collabwf/internal/synth"
 	"collabwf/internal/trace"
 	"collabwf/internal/transparency"
+	"context"
 )
 
 // Core model types (Section 2).
@@ -171,6 +172,12 @@ func MinimumScenario(r *Run, peer Peer, opts ScenarioOptions) ([]int, error) {
 	return scenario.Minimum(r, peer, opts)
 }
 
+// MinimumScenarioCtx is MinimumScenario with a cancellable context; the
+// subset scan fans out on opts.Parallelism workers.
+func MinimumScenarioCtx(ctx context.Context, r *Run, peer Peer, opts ScenarioOptions) ([]int, error) {
+	return scenario.MinimumCtx(ctx, r, peer, opts)
+}
+
 // GreedyScenario computes a 1-minimal scenario in polynomial time.
 func GreedyScenario(r *Run, peer Peer) []int { return scenario.Greedy(r, peer) }
 
@@ -180,10 +187,22 @@ func CheckBounded(p *Program, peer Peer, h int, opts SearchOptions) (*transparen
 	return transparency.CheckBounded(p, peer, h, opts)
 }
 
+// CheckBoundedCtx is CheckBounded with a cancellable context; the search
+// fans out on opts.Parallelism workers.
+func CheckBoundedCtx(ctx context.Context, p *Program, peer Peer, h int, opts SearchOptions) (*transparency.BoundViolation, error) {
+	return transparency.CheckBoundedCtx(ctx, p, peer, h, opts)
+}
+
 // CheckTransparent decides transparency of an h-bounded program for the
 // peer (Theorem 5.11).
 func CheckTransparent(p *Program, peer Peer, h int, opts SearchOptions) (*transparency.TransparencyViolation, error) {
 	return transparency.CheckTransparent(p, peer, h, opts)
+}
+
+// CheckTransparentCtx is CheckTransparent with a cancellable context; the
+// search fans out on opts.Parallelism workers.
+func CheckTransparentCtx(ctx context.Context, p *Program, peer Peer, h int, opts SearchOptions) (*transparency.TransparencyViolation, error) {
+	return transparency.CheckTransparentCtx(ctx, p, peer, h, opts)
 }
 
 // SynthesizeViewProgram constructs the view program P@p of a transparent,

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"collabwf/internal/transparency"
+	"collabwf/internal/workload"
+)
+
+// Parallelism is the worker-pool width the experiments pass to the
+// parallel searches (the transparency deciders and scenario.Minimum).
+// 0 selects GOMAXPROCS — the searches' own default; wfbench's -parallel
+// flag sets it.
+var Parallelism int
+
+// withPar applies the suite-wide Parallelism setting to search options.
+func withPar(o schemaOpts) schemaOpts {
+	o.Parallelism = Parallelism
+	return o
+}
+
+// E15ParallelSearch — scaling of the parallel decider search: the same
+// transparency check at increasing worker counts must return byte-identical
+// witnesses (the determinism rule of par.ForEachOrdered), with wall time
+// governed by the available cores.
+func E15ParallelSearch(quick bool) (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "parallel decider search: speedup vs workers",
+		Claim:   "Theorem 5.11 deciders parallelize with deterministic witnesses",
+		Columns: []string{"workers", "verdict", "time", "speedup", "nodes", "cache hit%"},
+	}
+	widths := []int{1, 2, 4, 8}
+	if quick {
+		widths = []int{1, 2}
+	}
+	prog := workload.Hiring()
+	const h = 3
+	opts := schemaOpts{PoolFresh: 2, MaxTuplesPerRelation: 1}
+	baseline := time.Duration(0)
+	witness := ""
+	for i, w := range widths {
+		var stats transparency.Stats
+		o := opts
+		o.Parallelism = w
+		o.Stats = &stats
+		start := time.Now()
+		v, err := transparency.CheckTransparent(prog, "sue", h, o)
+		if err != nil {
+			return nil, fmt.Errorf("E15 workers=%d: %w", w, err)
+		}
+		dur := time.Since(start)
+		if v == nil {
+			return nil, fmt.Errorf("E15 workers=%d: expected a violation witness", w)
+		}
+		if i == 0 {
+			baseline = dur
+			witness = v.String()
+		} else if v.String() != witness {
+			return nil, fmt.Errorf("E15: witness differs at workers=%d", w)
+		}
+		hitPct := 0.0
+		if lookups := stats.CacheHits + stats.CacheMisses; lookups > 0 {
+			hitPct = 100 * float64(stats.CacheHits) / float64(lookups)
+		}
+		t.AddRow(fmt.Sprintf("%d", w), "violation", ms(dur),
+			fmt.Sprintf("%.2fx", float64(baseline)/float64(dur)),
+			fmt.Sprintf("%d", stats.Nodes), fmt.Sprintf("%.0f%%", hitPct))
+	}
+	t.Notef("witnesses byte-identical across worker counts; speedup bounded by GOMAXPROCS")
+	return t, nil
+}

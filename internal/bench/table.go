@@ -15,7 +15,7 @@ import (
 
 // Table is one experiment's result.
 type Table struct {
-	// ID is the experiment identifier (E1..E12).
+	// ID is the experiment identifier (E1..E15).
 	ID string
 	// Title summarizes the experiment.
 	Title string
@@ -101,5 +101,6 @@ func All() []Experiment {
 		{"E12", E12NormalForm},
 		{"E13", E13Provenance},
 		{"E14", E14Coordinator},
+		{"E15", E15ParallelSearch},
 	}
 }

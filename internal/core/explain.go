@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -180,10 +181,20 @@ func CheckBounded(p *program.Program, peer schema.Peer, h int, opts Options) (*t
 	return transparency.CheckBounded(p, peer, h, opts)
 }
 
+// CheckBoundedCtx is CheckBounded with a cancellable context.
+func CheckBoundedCtx(ctx context.Context, p *program.Program, peer schema.Peer, h int, opts Options) (*transparency.BoundViolation, error) {
+	return transparency.CheckBoundedCtx(ctx, p, peer, h, opts)
+}
+
 // CheckTransparent decides transparency of an h-bounded program for a peer
 // (Theorem 5.11).
 func CheckTransparent(p *program.Program, peer schema.Peer, h int, opts Options) (*transparency.TransparencyViolation, error) {
 	return transparency.CheckTransparent(p, peer, h, opts)
+}
+
+// CheckTransparentCtx is CheckTransparent with a cancellable context.
+func CheckTransparentCtx(ctx context.Context, p *program.Program, peer schema.Peer, h int, opts Options) (*transparency.TransparencyViolation, error) {
+	return transparency.CheckTransparentCtx(ctx, p, peer, h, opts)
 }
 
 // Synthesize constructs the view program P@p of a transparent, h-bounded

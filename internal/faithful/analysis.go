@@ -8,6 +8,7 @@ package faithful
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"collabwf/internal/data"
 	"collabwf/internal/program"
@@ -78,6 +79,37 @@ type Analysis struct {
 	reqMemo map[schema.Peer][][]int
 }
 
+// relevantCache shares the att(R, q) tables across analyses: they depend
+// only on the schema, and the transparency deciders build one analysis per
+// candidate run — recomputing the tables dominated their setup cost. Keyed
+// by schema identity; entries live as long as the schema, which the
+// long-lived callers (coordinator, deciders) hold anyway.
+var relevantCache sync.Map // *schema.Collaborative → map[string]map[schema.Peer]map[data.Attr]bool
+
+// relevantSets returns the shared, read-only att(R, q) tables for s.
+func relevantSets(s *schema.Collaborative) map[string]map[schema.Peer]map[data.Attr]bool {
+	if v, ok := relevantCache.Load(s); ok {
+		return v.(map[string]map[schema.Peer]map[data.Attr]bool)
+	}
+	relevant := make(map[string]map[schema.Peer]map[data.Attr]bool)
+	for _, name := range s.DB.Names() {
+		relevant[name] = make(map[schema.Peer]map[data.Attr]bool)
+		for _, p := range s.Peers() {
+			v, ok := s.View(p, name)
+			if !ok {
+				continue
+			}
+			set := make(map[data.Attr]bool)
+			for _, attr := range v.RelevantAttrs() {
+				set[attr] = true
+			}
+			relevant[name][p] = set
+		}
+	}
+	actual, _ := relevantCache.LoadOrStore(s, relevant)
+	return actual.(map[string]map[schema.Peer]map[data.Attr]bool)
+}
+
 // NewAnalysis builds the analysis of r, processing all events so far.
 func NewAnalysis(r *program.Run) *Analysis {
 	a := NewAnalysisPartial(r)
@@ -92,24 +124,10 @@ func NewAnalysisPartial(r *program.Run) *Analysis {
 	a := &Analysis{
 		Run:      r,
 		cycles:   make(map[lcID][]Lifecycle),
-		relevant: make(map[string]map[schema.Peer]map[data.Attr]bool),
+		relevant: relevantSets(r.Prog.Schema),
 		reqMemo:  make(map[schema.Peer][][]int),
 	}
 	s := r.Prog.Schema
-	for _, name := range s.DB.Names() {
-		a.relevant[name] = make(map[schema.Peer]map[data.Attr]bool)
-		for _, p := range s.Peers() {
-			v, ok := s.View(p, name)
-			if !ok {
-				continue
-			}
-			set := make(map[data.Attr]bool)
-			for _, attr := range v.RelevantAttrs() {
-				set[attr] = true
-			}
-			a.relevant[name][p] = set
-		}
-	}
 	// Tuples of the initial instance live in lifecycles opened "before"
 	// the run (Left = -1).
 	for _, name := range s.DB.Names() {

@@ -1,0 +1,131 @@
+// Package par provides the deterministic ordered fan-out primitive shared
+// by the exhaustive searches (transparency deciders, scenario.Minimum):
+// run n jobs on a bounded worker pool and return the outcome the sequential
+// scan would have produced first, regardless of scheduling.
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured parallelism knob: n if positive, else
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEachOrdered runs job(ctx, i) for i = 0..n-1 on a pool of `workers`
+// goroutines and returns the least index whose job reported a terminal
+// outcome (stop=true or a non-cancellation error), together with that job's
+// error; (-1, nil) if no job was terminal, (-1, ctx.Err()) if the caller's
+// context was cancelled.
+//
+// This is the determinism mechanism of the parallel searches: job order
+// mirrors the sequential search order, so "least terminal index" is exactly
+// the outcome the sequential search would have produced first. A terminal
+// outcome at index b cancels the contexts of all jobs above b and makes
+// undispatched jobs above b be skipped, but jobs below b always run to
+// completion — one of them may still beat b. A job cancelled this way whose
+// result arrives anyway is discarded unless it, too, is terminal at a
+// smaller index. With workers <= 1 the jobs run inline on the calling
+// goroutine with identical semantics.
+func ForEachOrdered(ctx context.Context, workers, n int, job func(ctx context.Context, i int) (stop bool, err error)) (int, error) {
+	if n == 0 {
+		return -1, ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return -1, err
+			}
+			stop, err := job(ctx, i)
+			if stop || err != nil {
+				return i, err
+			}
+		}
+		return -1, nil
+	}
+
+	var (
+		next    atomic.Int64 // next undispatched index
+		best    atomic.Int64 // least terminal index so far (n = none)
+		errs    = make([]error, n)
+		mu      sync.Mutex // guards running
+		running = make(map[int]context.CancelFunc, workers)
+		wg      sync.WaitGroup
+	)
+	best.Store(int64(n))
+
+	// lower records a terminal outcome at index i and cancels every running
+	// job above the new best.
+	lower := func(i int) {
+		for {
+			b := best.Load()
+			if int64(i) >= b {
+				return
+			}
+			if best.CompareAndSwap(b, int64(i)) {
+				break
+			}
+		}
+		mu.Lock()
+		for j, cancel := range running {
+			if j > i {
+				cancel()
+			}
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if int64(i) >= best.Load() {
+					continue // a smaller index already won
+				}
+				jctx, cancel := context.WithCancel(ctx)
+				mu.Lock()
+				running[i] = cancel
+				mu.Unlock()
+				stop, err := job(jctx, i)
+				mu.Lock()
+				delete(running, i)
+				mu.Unlock()
+				cancel()
+				if err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+					// Aborted because a smaller index turned terminal;
+					// not an outcome of its own.
+					continue
+				}
+				if stop || err != nil {
+					errs[i] = err
+					lower(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return -1, err
+	}
+	if b := int(best.Load()); b < n {
+		return b, errs[b]
+	}
+	return -1, nil
+}

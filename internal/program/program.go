@@ -9,6 +9,7 @@ package program
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"collabwf/internal/data"
 	"collabwf/internal/query"
@@ -23,6 +24,9 @@ type Program struct {
 	rules  []*rule.Rule
 	byName map[string]*rule.Rule
 	byPeer map[schema.Peer][]*rule.Rule
+
+	constOnce  sync.Once
+	constCache data.ValueSet
 }
 
 // New builds a program, validating every rule against the schema. Rule
@@ -69,13 +73,18 @@ func (p *Program) Rule(name string) *rule.Rule { return p.byName[name] }
 func (p *Program) RulesAt(q schema.Peer) []*rule.Rule { return p.byPeer[q] }
 
 // Constants returns const(P): the set of constants used in the program's
-// rules (⊥ excluded; the paper treats ⊥ separately).
+// rules (⊥ excluded; the paper treats ⊥ separately). The set is computed
+// once and shared — run construction and the bounded searches query it on
+// every step — so callers must treat it as read-only.
 func (p *Program) Constants() data.ValueSet {
-	set := data.NewValueSet()
-	for _, r := range p.rules {
-		set.AddAll(r.Constants())
-	}
-	return set
+	p.constOnce.Do(func() {
+		set := data.NewValueSet()
+		for _, r := range p.rules {
+			set.AddAll(r.Constants())
+		}
+		p.constCache = set
+	})
+	return p.constCache
 }
 
 // MaxBodyAtoms returns the maximum number of relational facts in a rule
@@ -90,9 +99,7 @@ func (p *Program) MaxBodyAtoms() int {
 				n++
 			}
 		}
-		if n > m {
-			m = n
-		}
+		m = max(m, n)
 	}
 	return m
 }
@@ -101,9 +108,7 @@ func (p *Program) MaxBodyAtoms() int {
 func (p *Program) MaxHeadUpdates() int {
 	m := 0
 	for _, r := range p.rules {
-		if len(r.Head) > m {
-			m = len(r.Head)
-		}
+		m = max(m, len(r.Head))
 	}
 	return m
 }
@@ -119,9 +124,7 @@ func (p *Program) MaxRuleVars() int {
 		for _, v := range r.HeadVars() {
 			set[v] = struct{}{}
 		}
-		if len(set) > m {
-			m = len(set)
-		}
+		m = max(m, len(set))
 	}
 	return m
 }

@@ -16,6 +16,10 @@ type Step struct {
 	Event    *Event
 	Instance *schema.Instance
 	Effects  []Effect
+
+	// added records the values this step contributed to the run's freshness
+	// ledger, so Truncate can undo the step exactly.
+	added []data.Value
 }
 
 // Run is a run of a program: a sequence of steps starting from an initial
@@ -47,9 +51,18 @@ func NewRun(p *Program) *Run {
 
 // NewRunFrom starts a run of p from an arbitrary initial instance.
 func NewRunFrom(p *Program, initial *schema.Instance) *Run {
+	return NewRunFromShared(p, initial.Clone())
+}
+
+// NewRunFromShared starts a run of p from an initial instance the caller
+// promises not to mutate afterwards, skipping NewRunFrom's defensive clone.
+// Runs never mutate their initial instance (Apply is copy-on-write), so the
+// bounded searches — which replay thousands of runs from a fixed pool of
+// immutable instances — use this to avoid cloning the pool over and over.
+func NewRunFromShared(p *Program, initial *schema.Instance) *Run {
 	r := &Run{
 		Prog:    p,
-		Initial: initial.Clone(),
+		Initial: initial,
 		consts:  p.Constants(),
 		seen:    data.NewValueSet(),
 		fresh:   data.NewFreshSource("ν"),
@@ -171,12 +184,42 @@ func (r *Run) Append(e *Event) error {
 	if err != nil {
 		return err
 	}
-	r.Steps = append(r.Steps, Step{Event: e, Instance: next, Effects: effects})
 	// Every value of the successor instance comes from the predecessor or
 	// from the event itself (the chase only moves existing values), so the
-	// freshness ledger grows by the event's values only.
-	r.seen.AddAll(e.Values())
+	// freshness ledger grows by the event's values only. The newly seen
+	// values are recorded on the step so Truncate can undo them.
+	var added []data.Value
+	for v := range e.Values() {
+		if r.seen.Add(v) {
+			added = append(added, v)
+		}
+	}
+	r.Steps = append(r.Steps, Step{Event: e, Instance: next, Effects: effects, added: added})
 	return nil
+}
+
+// Truncate discards all events after the first n, restoring the run to the
+// state it had before they were appended: the freshness ledger forgets the
+// values the dropped steps introduced and the cached views of the dropped
+// instances are evicted. It is the O(dropped)-cost inverse of Append that
+// the backtracking searches rely on (rebuilding the prefix would re-check
+// every body and re-clone every instance).
+func (r *Run) Truncate(n int) {
+	if n < 0 || n > len(r.Steps) {
+		panic(fmt.Sprintf("program: Truncate(%d) out of range [0,%d]", n, len(r.Steps)))
+	}
+	for i := len(r.Steps) - 1; i >= n; i-- {
+		for _, v := range r.Steps[i].added {
+			delete(r.seen, v)
+		}
+		r.Steps[i] = Step{} // release the instance
+	}
+	r.Steps = r.Steps[:n]
+	for k := range r.views {
+		if k.step >= n {
+			delete(r.views, k)
+		}
+	}
 }
 
 // MustAppend is Append panicking on error.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"collabwf/internal/data"
 	"collabwf/internal/query"
@@ -100,6 +101,15 @@ type Rule struct {
 	// program transformation (normal form, stage discipline, ...); empty
 	// for hand-written rules. It realizes the mapping θ of Prop 2.3.
 	Origin string
+
+	// Lazily memoized derived data. Rules are treated as immutable once
+	// built (the whole repo constructs them with &Rule{...} and never
+	// mutates them afterwards), so the caches are computed once and shared;
+	// sync.Once makes first use safe under concurrent searches.
+	freshOnce  sync.Once
+	freshCache []string
+	constOnce  sync.Once
+	constCache []data.Value
 }
 
 // String renders the rule as "name at peer: head :- body".
@@ -130,7 +140,13 @@ func (r *Rule) HeadVars() []string {
 
 // FreshVars returns the variables that occur in the head but not in the
 // body. At instantiation time these must be bound to globally fresh values.
+// The result is memoized; callers must not modify it.
 func (r *Rule) FreshVars() []string {
+	r.freshOnce.Do(func() { r.freshCache = r.freshVars() })
+	return r.freshCache
+}
+
+func (r *Rule) freshVars() []string {
 	body := make(map[string]struct{})
 	for _, l := range r.Body {
 		l.Vars(body)
@@ -155,8 +171,14 @@ func (r *Rule) FreshVars() []string {
 	return out
 }
 
-// Constants returns the constants used by the rule (⊥ excluded).
+// Constants returns the constants used by the rule (⊥ excluded). The term
+// walk is memoized; the returned set is a fresh copy the caller may modify.
 func (r *Rule) Constants() data.ValueSet {
+	r.constOnce.Do(func() { r.constCache = r.constants().Sorted() })
+	return data.NewValueSet(r.constCache...)
+}
+
+func (r *Rule) constants() data.ValueSet {
 	set := data.NewValueSet()
 	add := func(t query.Term) {
 		if !t.IsVar && !t.Const.IsNull() {

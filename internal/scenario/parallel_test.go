@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"collabwf/internal/workload"
+)
+
+// The parallel subset scan must return exactly the scenario the sequential
+// scan finds (least mask among those of minimum length), for every worker
+// count.
+func TestMinimumParallelMatchesSequential(t *testing.T) {
+	inst := workload.HittingSetInstance{
+		N:    4,
+		Sets: [][]int{{0, 1}, {1, 2}, {2, 3}},
+	}
+	_, r, err := workload.HittingSet(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Minimum(r, "p", Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, err := Minimum(r, "p", Options{Parallelism: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %v want %v", w, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: %v want %v", w, got, want)
+			}
+		}
+	}
+}
+
+func TestMinimumCtxCancelled(t *testing.T) {
+	_, r := workload.Approval()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinimumCtx(ctx, r, "applicant", Options{Parallelism: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}

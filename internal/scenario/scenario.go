@@ -10,10 +10,13 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
+	"collabwf/internal/par"
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
 	"collabwf/internal/view"
@@ -28,7 +31,9 @@ var ErrBudget = errors.New("scenario: search budget exceeded")
 // returns the resulting subrun or an error if the subsequence does not
 // yield a run.
 func Replay(r *program.Run, indices []int) (*program.Run, error) {
-	sub := program.NewRunFrom(r.Prog, r.Initial)
+	// The parent run never mutates its initial instance, so the replay can
+	// share it instead of cloning per candidate subsequence.
+	sub := program.NewRunFromShared(r.Prog, r.Initial)
 	prev := -1
 	for _, i := range indices {
 		if i <= prev || i >= r.Len() {
@@ -51,11 +56,29 @@ func IsSubrun(r *program.Run, indices []int) bool {
 // IsScenario reports whether the selected subsequence yields a scenario of
 // r at p: a subrun with ρ@p = ρ̂@p.
 func IsScenario(r *program.Run, p schema.Peer, indices []int) bool {
+	return isScenarioAgainst(r, p, view.Of(r, p), indices)
+}
+
+// isScenarioAgainst is IsScenario with the target view ρ@p precomputed, so
+// the exact searches compute it once instead of per candidate. The target
+// must be warmed (warmView) before concurrent use.
+func isScenarioAgainst(r *program.Run, p schema.Peer, target *view.RunView, indices []int) bool {
 	sub, err := Replay(r, indices)
 	if err != nil {
 		return false
 	}
-	return view.Of(r, p).Equal(view.Of(sub, p))
+	return target.Equal(view.Of(sub, p))
+}
+
+// warmView materializes every lazily-computed relation of the view's
+// instances, after which the view is read-only and safe to share across
+// goroutines.
+func warmView(rv *view.RunView) {
+	for _, e := range rv.Entries {
+		for _, rel := range e.After.Relations() {
+			e.After.Tuples(rel)
+		}
+	}
 }
 
 // Options bounds the exact searches.
@@ -64,8 +87,14 @@ type Options struct {
 	// from; beyond it the exact procedures return ErrBudget. Default 20.
 	MaxChoice int
 	// MaxChecks caps the number of candidate subsequences replayed.
-	// Default 1 << 22.
+	// Default 1 << 22. In MinimumCtx the counter is shared across workers,
+	// so when the budget is the binding constraint the exact overflow point
+	// — though not the error — can vary with Parallelism.
 	MaxChecks int
+	// Parallelism is the worker-pool width for Minimum's scan of the
+	// subset space. 0 selects GOMAXPROCS; 1 forces the sequential scan.
+	// The scenario returned is identical for every width.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -79,33 +108,81 @@ func (o Options) withDefaults() Options {
 }
 
 // Minimum finds a minimum-length scenario of r at p by exhaustive search in
-// order of increasing length (Theorem 3.3: the decision problem is
+// order of increasing length with an uncancellable context; see MinimumCtx.
+func Minimum(r *program.Run, p schema.Peer, opts Options) ([]int, error) {
+	return MinimumCtx(context.Background(), r, p, opts)
+}
+
+// chunkBits sets the granularity of Minimum's fan-out: each work item scans
+// a contiguous 2^chunkBits slice of the subset space.
+const chunkBits = 12
+
+// MinimumCtx finds a minimum-length scenario of r at p by exhaustive search
+// in order of increasing length (Theorem 3.3: the decision problem is
 // NP-complete, so this is exponential in the number of invisible events).
 // The visible events of r are always included. It returns the indices of a
 // minimum scenario.
-func Minimum(r *program.Run, p schema.Peer, opts Options) ([]int, error) {
+//
+// The subset space is enumerated by increasing popcount; within each size
+// it is cut into contiguous mask chunks scanned on Options.Parallelism
+// workers, size-major chunk-minor — the sequential scan order — so the
+// scenario returned (the one with the lexicographically least mask among
+// those of minimum length) is identical for every worker count. Cancelling
+// ctx aborts the search with ctx.Err().
+func MinimumCtx(ctx context.Context, r *program.Run, p schema.Peer, opts Options) ([]int, error) {
 	opts = opts.withDefaults()
 	visible, invisible := split(r, p)
 	if len(invisible) > opts.MaxChoice {
 		return nil, fmt.Errorf("%w: %d invisible events > MaxChoice %d", ErrBudget, len(invisible), opts.MaxChoice)
 	}
-	checks := 0
 	n := len(invisible)
-	// Enumerate subsets of the invisible events by increasing popcount.
+	target := view.Of(r, p)
+	warmView(target)
+	total := uint64(1) << uint(n)
+	chunk := uint64(1) << chunkBits
+	if chunk > total {
+		chunk = total
+	}
+	chunks := int(total / chunk) // both are powers of two
+	type job struct {
+		size   int
+		lo, hi uint64
+	}
+	jobs := make([]job, 0, (n+1)*chunks)
 	for size := 0; size <= n; size++ {
-		for mask := uint64(0); mask < 1<<uint(n); mask++ {
-			if bits.OnesCount64(mask) != size {
+		for c := uint64(0); c < uint64(chunks); c++ {
+			jobs = append(jobs, job{size: size, lo: c * chunk, hi: (c + 1) * chunk})
+		}
+	}
+	var checks atomic.Int64
+	found := make([][]int, len(jobs))
+	idx, err := par.ForEachOrdered(ctx, par.Workers(opts.Parallelism), len(jobs), func(jctx context.Context, i int) (bool, error) {
+		j := jobs[i]
+		for mask := j.lo; mask < j.hi; mask++ {
+			if mask&1023 == 0 {
+				if err := jctx.Err(); err != nil {
+					return false, err
+				}
+			}
+			if bits.OnesCount64(mask) != j.size {
 				continue
 			}
-			checks++
-			if checks > opts.MaxChecks {
-				return nil, ErrBudget
+			if checks.Add(1) > int64(opts.MaxChecks) {
+				return false, ErrBudget
 			}
 			indices := merge(visible, invisible, mask)
-			if IsScenario(r, p, indices) {
-				return indices, nil
+			if isScenarioAgainst(r, p, target, indices) {
+				found[i] = indices
+				return true, nil
 			}
 		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if idx >= 0 {
+		return found[idx], nil
 	}
 	return nil, fmt.Errorf("scenario: no scenario found (the full run should always be one)")
 }
@@ -136,6 +213,7 @@ func GreedyOrder(r *program.Run, p schema.Peer, frontFirst bool) []int {
 	for _, i := range r.VisibleEvents(p) {
 		visible[i] = true
 	}
+	target := view.Of(r, p)
 	for {
 		changed := false
 		order := make([]int, len(current))
@@ -155,7 +233,7 @@ func GreedyOrder(r *program.Run, p schema.Peer, frontFirst bool) []int {
 					candidate = append(candidate, j)
 				}
 			}
-			if IsScenario(r, p, candidate) {
+			if isScenarioAgainst(r, p, target, candidate) {
 				current = candidate
 				changed = true
 			}
@@ -172,7 +250,8 @@ func GreedyOrder(r *program.Run, p schema.Peer, frontFirst bool) []int {
 // over the removable events, bounded by opts).
 func IsMinimal(r *program.Run, p schema.Peer, indices []int, opts Options) (bool, error) {
 	opts = opts.withDefaults()
-	if !IsScenario(r, p, indices) {
+	target := view.Of(r, p)
+	if !isScenarioAgainst(r, p, target, indices) {
 		return false, fmt.Errorf("scenario: the given subsequence is not a scenario")
 	}
 	visible := make(map[int]bool)
@@ -202,7 +281,7 @@ func IsMinimal(r *program.Run, p schema.Peer, indices []int, opts Options) (bool
 		if checks > opts.MaxChecks {
 			return false, ErrBudget
 		}
-		if IsScenario(r, p, merge(fixed, removable, mask)) {
+		if isScenarioAgainst(r, p, target, merge(fixed, removable, mask)) {
 			return false, nil
 		}
 	}

@@ -12,6 +12,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -123,6 +124,37 @@ func (c *Coordinator) Guard(peer schema.Peer, h int) error {
 			delete(c.guardMonitors, peer)
 			return fmt.Errorf("server: persisting guard: %w", err)
 		}
+	}
+	return nil
+}
+
+// Certify statically certifies the coordinator's program for a peer: it
+// runs the h-boundedness and transparency deciders (Theorems 5.10/5.11) so
+// a guard installed for the peer can never fire. The searches run on
+// opts.Parallelism workers and stop when ctx is cancelled — certification
+// of a large program can be abandoned (e.g. on server shutdown) without
+// waiting for the exhaustive search to finish. The coordinator's lock is
+// not held during the search; submissions proceed concurrently.
+func (c *Coordinator) Certify(ctx context.Context, peer schema.Peer, h int, opts core.Options) error {
+	c.mu.Lock()
+	prog := c.prog
+	c.mu.Unlock()
+	if !prog.Schema.HasPeer(peer) {
+		return fmt.Errorf("server: unknown peer %s", peer)
+	}
+	bv, err := core.CheckBoundedCtx(ctx, prog, peer, h, opts)
+	if err != nil {
+		return fmt.Errorf("server: certifying %s: %w", peer, err)
+	}
+	if bv != nil {
+		return fmt.Errorf("server: %s is not %d-bounded: %s", peer, h, bv)
+	}
+	tv, err := core.CheckTransparentCtx(ctx, prog, peer, h, opts)
+	if err != nil {
+		return fmt.Errorf("server: certifying %s: %w", peer, err)
+	}
+	if tv != nil {
+		return fmt.Errorf("server: program is not transparent for %s: %s", peer, tv)
 	}
 	return nil
 }

@@ -1,10 +1,12 @@
 package transparency
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"collabwf/internal/data"
+	"collabwf/internal/par"
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
 	"collabwf/internal/view"
@@ -28,40 +30,88 @@ func (v *BoundViolation) String() string {
 }
 
 // CheckBounded decides whether p is h-bounded for the peer (Definition 5.8,
-// Theorem 5.10): it searches for an instance I and a minimum p-faithful run
-// of length h+1 on I whose events are all silent at p except the last. A
-// nil violation means the program is h-bounded (relative to the search
-// caps; cap overflow returns ErrBudget instead).
+// Theorem 5.10) with an uncancellable context; see CheckBoundedCtx.
 func CheckBounded(p *program.Program, peer schema.Peer, h int, opts Options) (*BoundViolation, error) {
+	return CheckBoundedCtx(context.Background(), p, peer, h, opts)
+}
+
+// CheckBoundedCtx decides whether p is h-bounded for the peer (Definition
+// 5.8, Theorem 5.10): it searches for an instance I and a minimum
+// p-faithful run of length h+1 on I whose events are all silent at p except
+// the last. A nil violation means the program is h-bounded (relative to the
+// search caps; cap overflow returns ErrBudget instead). The search fans out
+// over (instance, top-level branch) work items on Options.Parallelism
+// workers; the witness returned is the one the sequential search would find
+// first, for every worker count. Cancelling ctx aborts the search with
+// ctx.Err().
+func CheckBoundedCtx(ctx context.Context, p *program.Program, peer schema.Peer, h int, opts Options) (*BoundViolation, error) {
 	s := newSearcher(p, peer, h, opts)
-	instances, err := s.instances()
+	defer s.finish()
+	instances, err := s.instances(ctx)
 	if err != nil {
 		return nil, err
 	}
-	var found *BoundViolation
-	for _, in := range instances {
-		err := s.silentRuns(in, h+1, data.NewValueSet(), func(sr SilentRun) bool {
+	s.cacheADoms(instances)
+	jobs, err := s.branchJobs(ctx, instances)
+	if err != nil {
+		return nil, err
+	}
+	found := make([]*BoundViolation, len(jobs))
+	idx, err := par.ForEachOrdered(ctx, s.opts.workers(), len(jobs), func(jctx context.Context, i int) (bool, error) {
+		j := jobs[i]
+		err := s.silentRuns(jctx, j.in, h+1, j.branch, data.NewValueSet(), func(sr SilentRun) bool {
 			if sr.Run.Len() == h+1 {
-				found = &BoundViolation{Initial: sr.Initial, Events: sr.Run.Events()}
+				found[i] = &BoundViolation{Initial: sr.Initial, Events: sr.Run.Events()}
 				return false
 			}
 			return true
 		})
-		if err != nil {
-			return nil, err
-		}
-		if found != nil {
-			return found, nil
-		}
+		return found[i] != nil, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if idx >= 0 {
+		return found[idx], nil
 	}
 	return nil, nil
 }
 
+// branchJob is one unit of decider fan-out: a top-level silent-run branch
+// (root candidate index) of one initial instance. Job order is
+// instance-major, branch-minor — the sequential DFS order.
+type branchJob struct {
+	in     *schema.Instance
+	branch int
+}
+
+// branchJobs expands instances into per-branch work items. Root candidate
+// lists come from the shared memo cache, so the expansion also warms it.
+func (s *searcher) branchJobs(ctx context.Context, instances []*schema.Instance) ([]branchJob, error) {
+	var jobs []branchJob
+	for _, in := range instances {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n := len(s.candidatesFor(program.NewRunFromShared(s.prog, in)))
+		for b := 0; b < n; b++ {
+			jobs = append(jobs, branchJob{in: in, branch: b})
+		}
+	}
+	return jobs, nil
+}
+
 // Bound finds the smallest h for which the program is h-bounded for the
-// peer, trying h = 0..maxH. It returns maxH+1, false if none is found.
+// peer, trying h = 0..maxH; see BoundCtx.
 func Bound(p *program.Program, peer schema.Peer, maxH int, opts Options) (int, bool, error) {
+	return BoundCtx(context.Background(), p, peer, maxH, opts)
+}
+
+// BoundCtx finds the smallest h for which the program is h-bounded for the
+// peer, trying h = 0..maxH. It returns maxH+1, false if none is found.
+func BoundCtx(ctx context.Context, p *program.Program, peer schema.Peer, maxH int, opts Options) (int, bool, error) {
 	for h := 0; h <= maxH; h++ {
-		v, err := CheckBounded(p, peer, h, opts)
+		v, err := CheckBoundedCtx(ctx, p, peer, h, opts)
 		if err != nil {
 			return 0, false, err
 		}
@@ -93,30 +143,45 @@ func (v *TransparencyViolation) String() string {
 }
 
 // CheckTransparent decides transparency of an h-bounded program for the
+// peer with an uncancellable context; see CheckTransparentCtx.
+func CheckTransparent(p *program.Program, peer schema.Peer, h int, opts Options) (*TransparencyViolation, error) {
+	return CheckTransparentCtx(context.Background(), p, peer, h, opts)
+}
+
+// CheckTransparentCtx decides transparency of an h-bounded program for the
 // peer (Theorem 5.11): for every pair of p-fresh instances I, J over the
 // pool with I@p = J@p, every minimum p-faithful run α on I with all but the
 // last event silent (|α| ≤ h+1 by boundedness) must also be such a run on J
 // with α(I)@p = α(J)@p, whenever adom(J) ∩ new(α) = ∅ (the search draws new
 // values outside both instances, which is sound up to isomorphism). A nil
 // violation means the program is transparent for p relative to the caps.
-func CheckTransparent(p *program.Program, peer schema.Peer, h int, opts Options) (*TransparencyViolation, error) {
+// The ordered (I, J) pairs fan out on Options.Parallelism workers; the
+// witness returned is the one the sequential search would find first, for
+// every worker count. Cancelling ctx aborts the search with ctx.Err().
+func CheckTransparentCtx(ctx context.Context, p *program.Program, peer schema.Peer, h int, opts Options) (*TransparencyViolation, error) {
 	s := newSearcher(p, peer, h, opts)
-	fresh, err := s.freshInstances()
+	defer s.finish()
+	fresh, err := s.freshInstances(ctx)
 	if err != nil {
 		return nil, err
 	}
-	// Group fresh instances by their p-view.
+	s.cacheADoms(fresh)
+	// Group fresh instances by their p-view. The grouping keeps exact
+	// string fingerprints: a hash collision here could merge two distinct
+	// p-views and fabricate a violation, where a collision in the dedup and
+	// memo layers only merges states.
 	groups := make(map[string][]*schema.Instance)
 	for _, in := range fresh {
 		fp := schema.ViewOf(in, p.Schema, peer).Fingerprint()
 		groups[fp] = append(groups[fp], in)
 	}
-	var found *TransparencyViolation
 	groupKeys := make([]string, 0, len(groups))
 	for k := range groups {
 		groupKeys = append(groupKeys, k)
 	}
 	sort.Strings(groupKeys)
+	type pairJob struct{ src, dst *schema.Instance }
+	var jobs []pairJob
 	for _, gk := range groupKeys {
 		group := groups[gk]
 		if len(group) < 2 {
@@ -124,26 +189,31 @@ func CheckTransparent(p *program.Program, peer schema.Peer, h int, opts Options)
 		}
 		for _, src := range group {
 			for _, dst := range group {
-				if src == dst {
-					continue
-				}
-				avoid := data.NewValueSet()
-				avoid.AddAll(dst.ADom())
-				err := s.silentRuns(src, h+1, avoid, func(sr SilentRun) bool {
-					if reason := replayMatches(s, sr, dst); reason != "" {
-						found = &TransparencyViolation{I: src, J: dst, Events: sr.Run.Events(), Reason: reason}
-						return false
-					}
-					return true
-				})
-				if err != nil {
-					return nil, err
-				}
-				if found != nil {
-					return found, nil
+				if src != dst {
+					jobs = append(jobs, pairJob{src, dst})
 				}
 			}
 		}
+	}
+	found := make([]*TransparencyViolation, len(jobs))
+	idx, err := par.ForEachOrdered(ctx, s.opts.workers(), len(jobs), func(jctx context.Context, i int) (bool, error) {
+		j := jobs[i]
+		avoid := data.NewValueSet()
+		avoid.AddAll(s.adomOf(j.dst))
+		err := s.silentRuns(jctx, j.src, h+1, allBranches, avoid, func(sr SilentRun) bool {
+			if reason := replayMatches(s, sr, j.dst); reason != "" {
+				found[i] = &TransparencyViolation{I: j.src, J: j.dst, Events: sr.Run.Events(), Reason: reason}
+				return false
+			}
+			return true
+		})
+		return found[i] != nil, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if idx >= 0 {
+		return found[idx], nil
 	}
 	return nil, nil
 }
@@ -153,7 +223,7 @@ func CheckTransparent(p *program.Program, peer schema.Peer, h int, opts Options)
 // run must be applicable, all events but the last silent at the peer, the
 // last visible, minimum p-faithful, and the final views must agree.
 func replayMatches(s *searcher, sr SilentRun, dst *schema.Instance) string {
-	run := program.NewRunFrom(s.prog, dst)
+	run := program.NewRunFromShared(s.prog, dst)
 	for i, e := range sr.Run.Events() {
 		if err := run.Append(e); err != nil {
 			return fmt.Sprintf("event %d not applicable on J: %v", i, err)

@@ -1,0 +1,74 @@
+package transparency
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"collabwf/internal/par"
+	"collabwf/internal/program"
+)
+
+// Stats reports search effort. Pass a *Stats in Options.Stats to collect
+// it; repeated calls with the same Options (e.g. Bound's h-loop) accumulate.
+type Stats struct {
+	// Nodes is the number of search-tree nodes (event firings) explored.
+	Nodes int64
+	// CacheHits and CacheMisses count lookups of the shared
+	// candidate-memoization cache.
+	CacheHits   int64
+	CacheMisses int64
+	// States is the number of distinct canonical states the instance
+	// enumeration kept.
+	States int64
+	// Workers is the worker-pool width the last call resolved to.
+	Workers int
+}
+
+// workers resolves the configured parallelism: Options.Parallelism if
+// positive, else GOMAXPROCS.
+func (o Options) workers() int { return par.Workers(o.Parallelism) }
+
+const numShards = 64 // power of two; shard index is the hash's low bits
+
+// candCache is a sharded memo of Run.Candidates keyed by the exact hash of
+// the current instance: candidate enumeration evaluates every rule body and
+// is a pure function of the current instance, so branches that reconverge
+// on a state — the dominant redundancy of the silent-run DFS — reuse the
+// list. Cached slices and their valuations are shared across goroutines and
+// must not be mutated (the searcher clones valuations before binding fresh
+// variables).
+type candCache struct {
+	shards [numShards]struct {
+		sync.RWMutex
+		m map[uint64][]program.Candidate
+	}
+	hits, misses atomic.Int64
+}
+
+func newCandCache() *candCache {
+	c := &candCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64][]program.Candidate)
+	}
+	return c
+}
+
+func (c *candCache) get(h uint64) ([]program.Candidate, bool) {
+	sh := &c.shards[h&(numShards-1)]
+	sh.RLock()
+	v, ok := sh.m[h]
+	sh.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+func (c *candCache) put(h uint64, v []program.Candidate) {
+	sh := &c.shards[h&(numShards-1)]
+	sh.Lock()
+	sh.m[h] = v
+	sh.Unlock()
+}

@@ -1,0 +1,111 @@
+package transparency
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"collabwf/internal/workload"
+)
+
+// The witness returned by the deciders must be byte-identical for every
+// worker count and across repeated runs: par.ForEachOrdered keeps the
+// sequential search order authoritative regardless of scheduling.
+func TestParallelWitnessDeterminism(t *testing.T) {
+	hiring := workload.Hiring()
+	wantT := ""
+	for _, w := range []int{1, 2, 8} {
+		for rep := 0; rep < 2; rep++ {
+			var stats Stats
+			o := Options{PoolFresh: 2, MaxTuplesPerRelation: 1, Parallelism: w, Stats: &stats}
+			v, err := CheckTransparent(hiring, "sue", 3, o)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			if v == nil {
+				t.Fatalf("workers=%d: hiring must have a transparency violation", w)
+			}
+			if stats.Workers != w {
+				t.Fatalf("stats.Workers=%d want %d", stats.Workers, w)
+			}
+			if wantT == "" {
+				wantT = v.String()
+			} else if got := v.String(); got != wantT {
+				t.Fatalf("workers=%d rep=%d: witness differs:\n got %s\nwant %s", w, rep, got, wantT)
+			}
+		}
+	}
+
+	chain3, _, err := workload.Chain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := ""
+	for _, w := range []int{1, 2, 8} {
+		v, err := CheckBounded(chain3, "p", 2, Options{PoolFresh: 1, MaxTuplesPerRelation: 1, Parallelism: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if v == nil {
+			t.Fatalf("workers=%d: Chain(3) is not 2-bounded", w)
+		}
+		if wantB == "" {
+			wantB = v.String()
+		} else if got := v.String(); got != wantB {
+			t.Fatalf("workers=%d: bound witness differs:\n got %s\nwant %s", w, got, wantB)
+		}
+	}
+}
+
+// A cancelled context aborts the search promptly with context.Canceled and
+// leaves no worker goroutines behind.
+func TestCheckTransparentCancelled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	hiring := workload.Hiring()
+	opts := Options{PoolFresh: 2, MaxTuplesPerRelation: 1, Parallelism: 8}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := CheckTransparentCtx(ctx, hiring, "sue", 3, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: err=%v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled search took %v", d)
+	}
+
+	// Cancel mid-flight: the search either finishes first (its usual
+	// verdict) or reports the cancellation — never anything else.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel2()
+	}()
+	if _, err := CheckTransparentCtx(ctx2, hiring, "sue", 3, opts); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel: err=%v", err)
+	}
+	cancel2()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("worker goroutines leaked: %d running, %d before", g, before)
+	}
+}
+
+// BoundCtx propagates cancellation out of its h-loop.
+func TestBoundCtxCancelled(t *testing.T) {
+	chain2, _, err := workload.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := BoundCtx(ctx, chain2, "p", 3, Options{PoolFresh: 1, MaxTuplesPerRelation: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}

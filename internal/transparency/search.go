@@ -10,11 +10,20 @@
 // propositional and small-arity relational programs of the paper's
 // examples, and every cap overflow is reported as ErrBudget rather than
 // silently truncated.
+//
+// The deciders run on a bounded worker pool (Options.Parallelism, default
+// GOMAXPROCS) that fans out over initial instances and top-level silent-run
+// branches, share a candidate-memoization cache across workers, and accept
+// a context so the first violation — or the caller — cancels outstanding
+// work. See DESIGN.md, "Parallel decider search", for the architecture and
+// the determinism rule.
 package transparency
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"collabwf/internal/data"
 	"collabwf/internal/faithful"
@@ -42,13 +51,22 @@ type Options struct {
 	// MaxInstances caps the number of instances enumerated. Default 50000.
 	MaxInstances int
 	// MaxNodes caps the number of search-tree nodes (event firings)
-	// explored. Default 500000.
+	// explored. Default 500000. The counter is shared across workers, so
+	// when the budget is the binding constraint the exact overflow point —
+	// though not the error — can vary with Parallelism.
 	MaxNodes int
+	// Parallelism is the worker-pool width for the fan-out over initial
+	// instances and top-level silent-run branches. 0 selects GOMAXPROCS;
+	// 1 forces the sequential search. Verdicts and witnesses are identical
+	// for every width (see par.ForEachOrdered).
+	Parallelism int
+	// Stats, when non-nil, accumulates search-effort counters across calls.
+	Stats *Stats
 }
 
 func (o Options) withDefaults(p *program.Program, h int) Options {
 	if o.PoolFresh == 0 {
-		o.PoolFresh = (h + 2) * maxInt(1, p.MaxRuleVars())
+		o.PoolFresh = (h + 2) * max(1, p.MaxRuleVars())
 		if o.PoolFresh > 6 {
 			o.PoolFresh = 6 // keep the default enumeration tractable
 		}
@@ -63,13 +81,6 @@ func (o Options) withDefaults(p *program.Program, h int) Options {
 		o.MaxNodes = 500000
 	}
 	return o
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Pool returns the constant pool C for program p: const(P) followed by n
@@ -90,25 +101,103 @@ func Pool(p *program.Program, n int) []data.Value {
 	return out
 }
 
-// searcher carries the shared state of the decision procedures.
+// searcher carries the shared state of the decision procedures. A searcher
+// is safe for concurrent use by the decider worker pools: its fields are
+// either immutable after construction (prog, pool, consts, fresh) or
+// internally synchronized (nodes, cands).
 type searcher struct {
-	prog  *program.Program
-	peer  schema.Peer
-	opts  Options
-	pool  []data.Value
-	nodes int
+	prog   *program.Program
+	peer   schema.Peer
+	opts   Options
+	pool   []data.Value
+	consts data.ValueSet // const(P), shared and read-only
+	fresh  data.ValueSet // pool \ const(P), shared and read-only
+	nodes  atomic.Int64
+	cands  *candCache
+	states int64
+	// adoms caches the active domains of the enumerated instances; built
+	// sequentially before any fan-out, read-only during it.
+	adoms map[*schema.Instance]data.ValueSet
+}
+
+// adomOf returns the cached active domain of an enumerated instance (or
+// computes it for instances outside the cache). The result is shared and
+// read-only.
+func (s *searcher) adomOf(in *schema.Instance) data.ValueSet {
+	if ad, ok := s.adoms[in]; ok {
+		return ad
+	}
+	return in.ADom()
+}
+
+// cacheADoms fills the adom cache for the given instances.
+func (s *searcher) cacheADoms(instances []*schema.Instance) {
+	if s.adoms == nil {
+		s.adoms = make(map[*schema.Instance]data.ValueSet, len(instances))
+	}
+	for _, in := range instances {
+		s.adoms[in] = in.ADom()
+	}
 }
 
 func newSearcher(p *program.Program, peer schema.Peer, h int, opts Options) *searcher {
 	opts = opts.withDefaults(p, h)
-	return &searcher{prog: p, peer: peer, opts: opts, pool: Pool(p, opts.PoolFresh)}
+	s := &searcher{
+		prog:   p,
+		peer:   peer,
+		opts:   opts,
+		pool:   Pool(p, opts.PoolFresh),
+		consts: p.Constants(),
+		cands:  newCandCache(),
+	}
+	s.fresh = data.NewValueSet()
+	for _, v := range s.pool {
+		if !s.consts.Has(v) {
+			s.fresh.Add(v)
+		}
+	}
+	return s
+}
+
+// finish folds the searcher's effort counters into Options.Stats, if set.
+func (s *searcher) finish() {
+	if st := s.opts.Stats; st != nil {
+		st.Nodes += s.nodes.Load()
+		st.CacheHits += s.cands.hits.Load()
+		st.CacheMisses += s.cands.misses.Load()
+		st.States += s.states
+		st.Workers = s.opts.workers()
+	}
+}
+
+// budgetNode charges one search-tree node against the shared budget.
+func (s *searcher) budgetNode() error {
+	if s.nodes.Add(1) > int64(s.opts.MaxNodes) {
+		return ErrBudget
+	}
+	return nil
+}
+
+// candidatesFor returns the applicable rule instantiations on the run's
+// current instance, memoized by the instance's exact hash: candidate
+// enumeration is a pure function of the current instance, and reconverging
+// on a state is the dominant redundancy of the silent-run DFS. The returned
+// slice is shared; callers must not mutate it or its valuations.
+func (s *searcher) candidatesFor(run *program.Run) []program.Candidate {
+	h := hashInstance(run.Current())
+	if c, ok := s.cands.get(h); ok {
+		return c
+	}
+	c := run.Candidates(0)
+	s.cands.put(h, c)
+	return c
 }
 
 // instances enumerates the instances over the pool with at most
 // MaxTuplesPerRelation tuples per relation, deduplicated up to isomorphism
 // over the pool's fresh constants (Lemma A.2 makes this sound). It returns
 // ErrBudget if the enumeration exceeds MaxInstances.
-func (s *searcher) instances() ([]*schema.Instance, error) {
+func (s *searcher) instances(ctx context.Context) ([]*schema.Instance, error) {
 	db := s.prog.Schema.DB
 	// Candidate tuples per relation.
 	candidates := make(map[string][]data.Tuple)
@@ -117,15 +206,18 @@ func (s *searcher) instances() ([]*schema.Instance, error) {
 		candidates[name] = enumerateTuples(rel.Arity(), s.pool)
 	}
 	results := []*schema.Instance{schema.NewInstance(db)}
-	seen := map[string]bool{canonicalFingerprint(results[0], s.freshSet()): true}
+	seen := map[uint64]struct{}{hashCanonical(results[0], s.fresh): {}}
 	names := db.Names()
 	total := 0
 	var build func(ri int, cur *schema.Instance) error
 	build = func(ri int, cur *schema.Instance) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if ri == len(names) {
-			fp := canonicalFingerprint(cur, s.freshSet())
-			if !seen[fp] {
-				seen[fp] = true
+			fp := hashCanonical(cur, s.fresh)
+			if _, dup := seen[fp]; !dup {
+				seen[fp] = struct{}{}
 				results = append(results, cur.Clone())
 				if len(results) > s.opts.MaxInstances {
 					return fmt.Errorf("%w: more than %d instances", ErrBudget, s.opts.MaxInstances)
@@ -168,6 +260,7 @@ func (s *searcher) instances() ([]*schema.Instance, error) {
 	if err := build(0, empty); err != nil {
 		return nil, err
 	}
+	s.states += int64(len(results))
 	return results, nil
 }
 
@@ -196,47 +289,6 @@ func enumerateTuples(arity int, pool []data.Value) []data.Tuple {
 	return out
 }
 
-// freshSet returns the pool constants that are not program constants; these
-// are interchangeable under isomorphism.
-func (s *searcher) freshSet() data.ValueSet {
-	consts := s.prog.Constants()
-	out := data.NewValueSet()
-	for _, v := range s.pool {
-		if !consts.Has(v) {
-			out.Add(v)
-		}
-	}
-	return out
-}
-
-// canonicalFingerprint renames the fresh pool constants of in by order of
-// first appearance, yielding a fingerprint invariant under fresh-constant
-// permutations.
-func canonicalFingerprint(in *schema.Instance, fresh data.ValueSet) string {
-	ren := make(map[data.Value]data.Value)
-	next := 0
-	canon := schema.NewInstance(in.DB())
-	for _, name := range in.DB().Names() {
-		for _, t := range in.Tuples(name) {
-			ct := t.Clone()
-			for i, v := range ct {
-				if !fresh.Has(v) {
-					continue
-				}
-				r, ok := ren[v]
-				if !ok {
-					next++
-					r = data.Value(fmt.Sprintf("#%d", next))
-					ren[v] = r
-				}
-				ct[i] = r
-			}
-			canon.MustPut(name, ct)
-		}
-	}
-	return canon.Fingerprint()
-}
-
 // visibleEventsOn enumerates the events of the program applicable on `in`
 // and visible at the searcher's peer, for the p-fresh instance generation
 // of Definition 5.5. Head-only variables range over the pool constants
@@ -249,7 +301,6 @@ func canonicalFingerprint(in *schema.Instance, fresh data.ValueSet) string {
 func (s *searcher) visibleEventsOn(in *schema.Instance) ([]*program.Event, error) {
 	var out []*program.Event
 	adom := in.ADom()
-	consts := s.prog.Constants()
 	for _, rl := range s.prog.Rules() {
 		vi := schema.ViewOf(in, s.prog.Schema, rl.Peer)
 		for _, val := range rl.Body.Eval(vi, 0) {
@@ -258,7 +309,7 @@ func (s *searcher) visibleEventsOn(in *schema.Instance) ([]*program.Event, error
 				var next []query.Valuation
 				for _, base := range vals {
 					for _, c := range s.pool {
-						if adom.Has(c) || consts.Has(c) {
+						if adom.Has(c) || s.consts.Has(c) {
 							continue
 						}
 						dup := false
@@ -279,9 +330,8 @@ func (s *searcher) visibleEventsOn(in *schema.Instance) ([]*program.Event, error
 				vals = next
 			}
 			for _, v := range vals {
-				s.nodes++
-				if s.nodes > s.opts.MaxNodes {
-					return nil, ErrBudget
+				if err := s.budgetNode(); err != nil {
+					return nil, err
 				}
 				e, err := program.NewEvent(rl, v)
 				if err != nil {
@@ -300,25 +350,28 @@ func (s *searcher) visibleEventsOn(in *schema.Instance) ([]*program.Event, error
 	return out, nil
 }
 
-// FreshInstances computes the p-fresh instances over the pool: the empty
+// freshInstances computes the p-fresh instances over the pool: the empty
 // instance plus every image e(I′) of an enumerated instance I′ under an
 // applicable event visible at p (Definition 5.5), deduplicated.
-func (s *searcher) freshInstances() ([]*schema.Instance, error) {
-	base, err := s.instances()
+func (s *searcher) freshInstances(ctx context.Context) ([]*schema.Instance, error) {
+	base, err := s.instances(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var out []*schema.Instance
-	seen := make(map[string]bool)
+	seen := make(map[uint64]struct{})
 	add := func(in *schema.Instance) {
-		fp := in.Fingerprint()
-		if !seen[fp] {
-			seen[fp] = true
+		fp := hashInstance(in)
+		if _, dup := seen[fp]; !dup {
+			seen[fp] = struct{}{}
 			out = append(out, in)
 		}
 	}
 	add(schema.NewInstance(s.prog.Schema.DB))
 	for _, in := range base {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		events, err := s.visibleEventsOn(in)
 		if err != nil {
 			return nil, err
@@ -344,6 +397,9 @@ type SilentRun struct {
 // Events returns the run's event sequence.
 func (sr SilentRun) Events() []*program.Event { return sr.Run.Events() }
 
+// allBranches selects the unrestricted DFS in silentRuns.
+const allBranches = -1
+
 // silentRuns enumerates the minimum p-faithful runs from initial instance
 // `in` whose events are all silent at p except a visible last one, with
 // length ≤ maxLen. Head-only variables are instantiated with the first
@@ -351,20 +407,38 @@ func (sr SilentRun) Events() []*program.Event { return sr.Run.Events() }
 // `avoid` are never used as fresh values (needed by the transparency check,
 // which requires adom(J) ∩ new(α) = ∅). Each discovered run is passed to
 // yield; enumeration stops early when yield returns false.
-func (s *searcher) silentRuns(in *schema.Instance, maxLen int, avoid data.ValueSet, yield func(SilentRun) bool) error {
-	run := program.NewRunFrom(s.prog, in)
+//
+// branch restricts the DFS to the branch of the given root candidate index
+// (allBranches explores them all) — the unit of top-level fan-out for the
+// parallel deciders. Backtracking uses Run.Truncate, and the per-run value
+// ledger (`used`) is maintained incrementally, so a node costs O(event)
+// instead of O(run²).
+func (s *searcher) silentRuns(ctx context.Context, in *schema.Instance, maxLen, branch int, avoid data.ValueSet, yield func(SilentRun) bool) error {
+	run := program.NewRunFromShared(s.prog, in)
+	// used holds every value the run has touched: adom of the initial
+	// instance plus the values of each appended event (a superset of the
+	// historical active domains, matching Append's freshness ledger), so
+	// pickFresh is O(pool) instead of re-uniting all instance domains.
+	used := data.NewValueSet()
+	used.AddAll(s.adomOf(in))
 	stop := false
 	var dfs func(depth int) error
 	dfs = func(depth int) error {
 		if stop || depth >= maxLen {
 			return nil
 		}
-		cands := run.Candidates(0)
-		for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cands := s.candidatesFor(run)
+		for ci, c := range cands {
+			if depth == 0 && branch != allBranches && ci != branch {
+				continue
+			}
 			val := c.Val.Clone()
 			ok := true
 			for _, fv := range c.Rule.FreshVars() {
-				v, found := s.pickFresh(run, avoid)
+				v, found := s.pickFresh(used, avoid)
 				if !found {
 					ok = false
 					break
@@ -375,9 +449,8 @@ func (s *searcher) silentRuns(in *schema.Instance, maxLen int, avoid data.ValueS
 			if !ok {
 				continue
 			}
-			s.nodes++
-			if s.nodes > s.opts.MaxNodes {
-				return ErrBudget
+			if err := s.budgetNode(); err != nil {
+				return err
 			}
 			e, err := program.NewEvent(c.Rule, val)
 			if err != nil {
@@ -389,6 +462,12 @@ func (s *searcher) silentRuns(in *schema.Instance, maxLen int, avoid data.ValueS
 				}
 				continue
 			}
+			var added []data.Value
+			for v := range e.Values() {
+				if used.Add(v) {
+					added = append(added, v)
+				}
+			}
 			last := run.Len() - 1
 			if run.VisibleAt(last, s.peer) {
 				if s.isMinimumFaithful(run) {
@@ -399,8 +478,10 @@ func (s *searcher) silentRuns(in *schema.Instance, maxLen int, avoid data.ValueS
 			} else if err := dfs(depth + 1); err != nil {
 				return err
 			}
-			// Backtrack: rebuild the run without the last event.
-			run = rebuild(s.prog, in, run, last)
+			run.Truncate(last)
+			for _, v := range added {
+				delete(used, v)
+			}
 			for _, fv := range c.Rule.FreshVars() {
 				delete(avoid, val[fv])
 			}
@@ -413,16 +494,11 @@ func (s *searcher) silentRuns(in *schema.Instance, maxLen int, avoid data.ValueS
 	return dfs(0)
 }
 
-// pickFresh returns the first pool constant unused by the run and not in
-// avoid.
-func (s *searcher) pickFresh(run *program.Run, avoid data.ValueSet) (data.Value, bool) {
-	consts := s.prog.Constants()
-	used := run.Current().ADom()
-	for i := -1; i < run.Len(); i++ {
-		used.AddAll(run.InstanceAt(i).ADom())
-	}
+// pickFresh returns the first pool constant outside const(P), the run's
+// value ledger, and avoid.
+func (s *searcher) pickFresh(used, avoid data.ValueSet) (data.Value, bool) {
 	for _, v := range s.pool {
-		if consts.Has(v) || used.Has(v) || avoid.Has(v) {
+		if s.consts.Has(v) || used.Has(v) || avoid.Has(v) {
 			continue
 		}
 		return v, true
@@ -438,10 +514,10 @@ func (s *searcher) isMinimumFaithful(run *program.Run) bool {
 	return fix.Len() == run.Len()
 }
 
-// rebuild reconstructs the run from its first n events (a cheap backtrack:
-// instances are immutable snapshots, so replay reuses the stored events).
+// rebuild reconstructs the run from its first n events (instances are
+// immutable snapshots, so replay reuses the stored events).
 func rebuild(p *program.Program, initial *schema.Instance, run *program.Run, n int) *program.Run {
-	out := program.NewRunFrom(p, initial)
+	out := program.NewRunFromShared(p, initial)
 	for i := 0; i < n; i++ {
 		out.MustAppend(run.Event(i))
 	}

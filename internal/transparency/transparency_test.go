@@ -1,6 +1,7 @@
 package transparency
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -164,7 +165,7 @@ func TestEnumerateTuples(t *testing.T) {
 func TestInstancesDedupIsomorphic(t *testing.T) {
 	p := workload.Hiring()
 	s := newSearcher(p, "sue", 1, Options{MaxTuplesPerRelation: 1, PoolFresh: 2})
-	ins, err := s.instances()
+	ins, err := s.instances(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestInstancesDedupIsomorphic(t *testing.T) {
 func TestFreshInstancesIncludeEmptyAndImages(t *testing.T) {
 	p := workload.Hiring()
 	s := newSearcher(p, "sue", 2, Options{MaxTuplesPerRelation: 1, PoolFresh: 2})
-	fresh, err := s.freshInstances()
+	fresh, err := s.freshInstances(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

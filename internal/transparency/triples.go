@@ -1,7 +1,7 @@
 package transparency
 
 import (
-	"strings"
+	"context"
 
 	"collabwf/internal/data"
 	"collabwf/internal/program"
@@ -35,8 +35,10 @@ type TripleEnum struct {
 // enumeration deduplicates triples whose restricted initial instance and
 // event sequence coincide.
 func EnumerateTriples(p *program.Program, peer schema.Peer, h int, opts Options) (*TripleEnum, error) {
+	ctx := context.Background()
 	s := newSearcher(p, peer, h, opts)
-	fresh, err := s.freshInstances()
+	defer s.finish()
+	fresh, err := s.freshInstances(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -45,22 +47,23 @@ func EnumerateTriples(p *program.Program, peer schema.Peer, h int, opts Options)
 	// p-fresh ("a p-fresh instance I ... such that the tuples in I(R) use
 	// only keys in K(R, α)"); freshness is closed under isomorphism of the
 	// pool's fresh constants (Lemma A.2), so membership is checked on
-	// canonical fingerprints.
-	freshFPs := make(map[string]bool, len(fresh))
+	// canonical fingerprints (as 64-bit hashes, like every dedup layer of
+	// the searches).
+	freshFPs := make(map[uint64]bool, len(fresh))
 	for _, in := range fresh {
-		freshFPs[canonicalFingerprint(in, s.freshSet())] = true
+		freshFPs[hashCanonical(in, s.fresh)] = true
 	}
-	seen := make(map[string]bool)
+	seen := make(map[uint64]bool)
 	for _, in := range fresh {
-		err := s.silentRuns(in, h+1, data.NewValueSet(), func(sr SilentRun) bool {
+		err := s.silentRuns(ctx, in, h+1, allBranches, data.NewValueSet(), func(sr SilentRun) bool {
 			tr, ok := restrictTriple(p, peer, sr)
 			if !ok {
 				return true
 			}
-			if !freshFPs[canonicalFingerprint(tr.Initial, s.freshSet())] {
+			if !freshFPs[hashCanonical(tr.Initial, s.fresh)] {
 				return true
 			}
-			fp := tripleFingerprint(tr)
+			fp := tripleHash(tr)
 			if !seen[fp] {
 				seen[fp] = true
 				out.Triples = append(out.Triples, tr)
@@ -134,13 +137,14 @@ func restrictTriple(p *program.Program, peer schema.Peer, sr SilentRun) (Triple,
 	}, true
 }
 
-func tripleFingerprint(tr Triple) string {
-	var b strings.Builder
-	b.WriteString(tr.Initial.Fingerprint())
-	b.WriteByte('|')
+// tripleHash identifies a triple by its restricted initial instance and
+// event sequence, hashed instead of concatenated into a key string.
+func tripleHash(tr Triple) uint64 {
+	h := hash64(hashInstance(tr.Initial))
+	h.writeByte('|')
 	for _, e := range tr.Run.Events() {
-		b.WriteString(e.Fingerprint())
-		b.WriteByte(';')
+		hashEvent(&h, e)
+		h.writeByte(';')
 	}
-	return b.String()
+	return h.sum()
 }
