@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	wfbench [-quick] [-only E3,E5] [-parallel N] [-cpuprofile f] [-memprofile f]
+//	wfbench [-quick] [-only E3,E5] [-parallel N] [-json f] [-cpuprofile f] [-memprofile f]
+//
+// Alongside the text tables, every run writes a machine-readable JSON
+// report (experiment results, wall times, allocation counts, and the
+// suite-wide search statistics) to -json, which defaults to
+// BENCH_<timestamp>.json in the working directory; -json off disables it.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"collabwf/internal/bench"
 )
@@ -23,6 +29,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	parallel := flag.Int("parallel", 0, "worker-pool width for the parallel searches (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", `machine-readable report file (default BENCH_<timestamp>.json; "off" disables, "-" writes to stdout)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -48,18 +55,22 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	failed := 0
+	report := bench.NewReport(*quick)
 	for _, e := range bench.All() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		tbl, err := e.Run(*quick)
+		tbl, err := report.Measure(e, *quick)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n\n", e.ID, err)
-			failed++
 			continue
 		}
 		fmt.Println(tbl.Render())
+	}
+	report.Finish()
+	if err := writeReport(report, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+		report.Failed++
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -74,9 +85,36 @@ func main() {
 		}
 		f.Close()
 	}
-	if failed > 0 {
+	if report.Failed > 0 {
 		// The deferred profile writers must run before the exit.
 		pprof.StopCPUProfile()
 		os.Exit(1)
 	}
+}
+
+// writeReport writes the JSON report to dest: "" picks a timestamped
+// BENCH_*.json in the working directory, "-" writes to stdout, "off"
+// disables the report.
+func writeReport(r *bench.Report, dest string) error {
+	switch dest {
+	case "off":
+		return nil
+	case "-":
+		return r.Write(os.Stdout)
+	case "":
+		dest = "BENCH_" + time.Now().Format("20060102-150405") + ".json"
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wfbench: report written to %s\n", dest)
+	return nil
 }

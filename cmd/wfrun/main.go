@@ -5,14 +5,17 @@
 // Usage:
 //
 //	wfrun -spec workflow.wf [-steps 20] [-seed 1] [-peer sue]
+//	      [-log-level info] [-log-format auto|text|json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"collabwf/internal/engine"
+	"collabwf/internal/obs"
 	"collabwf/internal/parse"
 	"collabwf/internal/trace"
 	"collabwf/internal/view"
@@ -26,12 +29,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "random scheduler seed")
 	peer := flag.String("peer", "", "print only this peer's view")
 	out := flag.String("out", "", "write the run as a JSON trace to this file")
+	logLevel := flag.String("log-level", "warn", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", obs.FormatAuto, "log format: auto (text on a TTY, JSON otherwise), text or json")
 	flag.Parse()
 
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "wfrun: -spec is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(*specPath)
 	if err != nil {
@@ -41,13 +50,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	logger.Debug("spec loaded", "workflow", spec.Name, "rules", len(spec.Program.Rules()), "peers", len(spec.Program.Peers()))
 	if err := spec.Program.Schema.CheckLossless(); err != nil {
-		fmt.Fprintf(os.Stderr, "wfrun: warning: %v\n", err)
+		logger.Warn("schema is not lossless", "err", err)
 	}
+	start := time.Now()
 	r, err := engine.RandomRun(spec.Program, *steps, *seed, 8)
 	if err != nil {
 		fatal(err)
 	}
+	logger.Debug("run complete", "events", r.Len(), "seed", *seed, "duration", time.Since(start))
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {

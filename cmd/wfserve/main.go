@@ -17,10 +17,18 @@
 //	wfserve -spec workflow.wf [-addr :8080] [-guard sue=3 -guard bob=2]
 //	        [-data-dir ./data] [-fsync always|interval|never]
 //	        [-snapshot-every 256] [-shutdown-timeout 10s]
-//	        [-request-timeout 30s]
+//	        [-request-timeout 30s] [-debug-addr :6060]
+//	        [-log-level info] [-log-format auto|text|json]
 //
 // Endpoints: POST /submit, GET /view, /explain, /scenario, /transitions,
-// /trace, /healthz, /readyz (see internal/server).
+// /trace, /healthz, /readyz, /metrics, /statusz (see internal/server).
+// With -debug-addr a second listener additionally serves /metrics and
+// net/http/pprof — keep it off the public interface.
+//
+// Every layer is instrumented: request counts/latency per route, submission
+// accept/reject counters, WAL fsync and snapshot latencies, decider search
+// effort. Logs are structured (log/slog): text on a terminal, JSON when
+// piped, overridable with -log-format.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"collabwf/internal/obs"
 	"collabwf/internal/parse"
 	"collabwf/internal/schema"
 	"collabwf/internal/server"
@@ -56,6 +65,9 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request timeout (0 = unbounded)")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum /submit body size in bytes")
+	debugAddr := flag.String("debug-addr", "", "debug listener (pprof + /metrics); empty = disabled")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", obs.FormatAuto, "log format: auto (text on a TTY, JSON otherwise), text or json")
 	var guards guardFlags
 	flag.Var(&guards, "guard", "peer=h transparency guard (repeatable)")
 	flag.Parse()
@@ -64,6 +76,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wfserve: -spec is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(*specPath)
 	if err != nil {
@@ -74,6 +90,7 @@ func main() {
 		fatal(err)
 	}
 
+	reg := obs.NewRegistry()
 	var c *server.Coordinator
 	if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsync)
@@ -84,6 +101,7 @@ func main() {
 			Dir:           *dataDir,
 			Sync:          policy,
 			SnapshotEvery: *snapshotEvery,
+			Metrics:       reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -94,6 +112,8 @@ func main() {
 	} else {
 		c = server.New(spec.Name, spec.Program)
 	}
+	metrics := c.Instrument(reg)
+	c.SetLogger(logger)
 
 	for _, g := range guards {
 		peer, hs, ok := strings.Cut(g, "=")
@@ -120,11 +140,24 @@ func main() {
 	handler := server.NewHandler(c, server.HTTPOptions{
 		RequestTimeout: *requestTimeout,
 		MaxBodyBytes:   *maxBody,
+		Metrics:        metrics,
+		Logger:         logger,
 	})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(reg)}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -144,6 +177,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "wfserve: shutdown:", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(drainCtx)
 	}
 	// Final snapshot + WAL close (no-op for the in-memory coordinator).
 	if err := c.Close(); err != nil {

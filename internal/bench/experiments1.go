@@ -49,7 +49,7 @@ func E1MinimumScenario(quick bool) (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		min, err := scenario.Minimum(r, "p", scenario.Options{MaxChoice: 40, MaxChecks: 1 << 26, Parallelism: Parallelism})
+		min, err := scenario.Minimum(r, "p", scenario.Options{MaxChoice: 40, MaxChecks: 1 << 26, Parallelism: Parallelism, Stats: &SuiteScenario})
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +112,7 @@ func E2MinimalityCheck(quick bool) (*Table, error) {
 				all[i] = i
 			}
 			start := time.Now()
-			minimal, err := scenario.IsMinimal(r, "p", all, scenario.Options{MaxChoice: 40, MaxChecks: 1 << 26})
+			minimal, err := scenario.IsMinimal(r, "p", all, scenario.Options{MaxChoice: 40, MaxChecks: 1 << 26, Stats: &SuiteScenario})
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"collabwf/internal/scenario"
 	"collabwf/internal/transparency"
 	"collabwf/internal/workload"
 )
@@ -14,9 +15,23 @@ import (
 // flag sets it.
 var Parallelism int
 
-// withPar applies the suite-wide Parallelism setting to search options.
+// SuiteSearch accumulates the transparency-decider search statistics of
+// every search routed through withPar; wfbench folds it into the JSON
+// report. Experiments that install their own collector (E15) bypass it.
+// The experiments run sequentially, so plain accumulation is safe.
+var SuiteSearch transparency.Stats
+
+// SuiteScenario is the scenario-search counterpart of SuiteSearch,
+// fed by the exact searches in E1/E2.
+var SuiteScenario scenario.Stats
+
+// withPar applies the suite-wide Parallelism setting to search options
+// and attaches the suite-wide stats collector when the caller has none.
 func withPar(o schemaOpts) schemaOpts {
 	o.Parallelism = Parallelism
+	if o.Stats == nil {
+		o.Stats = &SuiteSearch
+	}
 	return o
 }
 

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"collabwf/internal/scenario"
+	"collabwf/internal/transparency"
+)
+
+// Result is one experiment's machine-readable outcome: the table it
+// produced plus what the harness measured around it.
+type Result struct {
+	ID    string `json:"id"`
+	Title string `json:"title,omitempty"`
+	Claim string `json:"claim,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// WallNS is the experiment's wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// Allocs and AllocBytes are the heap allocations the experiment made
+	// (runtime.MemStats deltas, so concurrent GC noise is possible but the
+	// experiments run one at a time).
+	Allocs     uint64     `json:"allocs"`
+	AllocBytes uint64     `json:"alloc_bytes"`
+	Columns    []string   `json:"columns,omitempty"`
+	Rows       [][]string `json:"rows,omitempty"`
+	Notes      []string   `json:"notes,omitempty"`
+}
+
+// SearchTotals aggregates the suite-wide search statistics: every decider
+// call routed through withPar and every exact scenario search feeds these
+// collectors (experiments with their own collectors, like E15, do not).
+type SearchTotals struct {
+	Transparency transparency.Stats `json:"transparency"`
+	Scenario     scenario.Stats     `json:"scenario"`
+}
+
+// Report is the machine-readable run summary wfbench writes next to its
+// text tables (BENCH_<timestamp>.json by default).
+type Report struct {
+	StartedAt   time.Time    `json:"started_at"`
+	WallNS      int64        `json:"wall_ns"`
+	Quick       bool         `json:"quick"`
+	Parallelism int          `json:"parallelism"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	GoVersion   string       `json:"go_version"`
+	Failed      int          `json:"failed"`
+	Results     []Result     `json:"results"`
+	Search      SearchTotals `json:"search"`
+}
+
+// NewReport starts a report for one wfbench invocation.
+func NewReport(quick bool) *Report {
+	return &Report{
+		StartedAt:   time.Now().UTC(),
+		Quick:       quick,
+		Parallelism: Parallelism,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+	}
+}
+
+// Measure runs one experiment, records its result in the report, and
+// returns the table (nil on failure) for rendering.
+func (r *Report) Measure(e Experiment, quick bool) (*Table, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	tbl, err := e.Run(quick)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	res := Result{
+		ID:         e.ID,
+		OK:         err == nil,
+		WallNS:     wall.Nanoseconds(),
+		Allocs:     after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}
+	if err != nil {
+		res.Error = err.Error()
+		r.Failed++
+	}
+	if tbl != nil {
+		res.Title = tbl.Title
+		res.Claim = tbl.Claim
+		res.Columns = tbl.Columns
+		res.Rows = tbl.Rows
+		res.Notes = tbl.Notes
+	}
+	r.Results = append(r.Results, res)
+	return tbl, err
+}
+
+// Finish seals the report: total wall time and the suite-wide search
+// statistics accumulated by withPar and the scenario experiments.
+func (r *Report) Finish() {
+	r.WallNS = time.Since(r.StartedAt).Nanoseconds()
+	r.Search = SearchTotals{Transparency: SuiteSearch, Scenario: SuiteScenario}
+}
+
+// Write emits the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

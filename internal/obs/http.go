@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// DebugMux builds the debug endpoint surface served behind wfserve's
+// -debug-addr: /metrics, the full net/http/pprof suite under /debug/pprof/,
+// and any extra handlers the caller registers afterwards. It is a separate
+// mux so profiling endpoints never ride on the public API listener.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// LogFormats accepted by NewLogger.
+const (
+	FormatAuto = "auto" // text on a TTY, JSON otherwise
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// ParseLevel converts a -log-level flag value into a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// IsTerminal reports whether w is an interactive terminal (a character
+// device). Non-file writers are never terminals.
+func IsTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// NewLogger builds the root structured logger for a command: level is a
+// -log-level string (debug|info|warn|error), format a -log-format string
+// (auto|text|json). Under FormatAuto the handler is human-readable text
+// when w is a TTY and JSON otherwise, so interactive runs stay pleasant
+// while piped/daemonized output is machine-parseable.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", FormatAuto:
+		if IsTerminal(w) {
+			h = slog.NewTextHandler(w, opts)
+		} else {
+			h = slog.NewJSONHandler(w, opts)
+		}
+	case FormatText:
+		h = slog.NewTextHandler(w, opts)
+	case FormatJSON:
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want auto, text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// Sub derives a per-subsystem logger: every record carries a "subsystem"
+// attribute, so one stream multiplexes the coordinator, WAL, HTTP and
+// decider layers distinguishably. A nil parent yields the discard logger.
+func Sub(parent *slog.Logger, subsystem string) *slog.Logger {
+	if parent == nil {
+		return Discard()
+	}
+	return parent.With(slog.String("subsystem", subsystem))
+}
+
+// Discard returns a logger that drops every record, for components whose
+// callers did not configure logging. (slog.DiscardHandler needs go ≥ 1.24;
+// this module targets 1.22.)
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCountersAndHistograms hammers one counter, one gauge and
+// one histogram from many goroutines (race-clean under -race) and checks
+// the final totals are exact.
+func TestConcurrentCountersAndHistograms(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "ops")
+	g := reg.Gauge("test_inflight", "in flight")
+	h := reg.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(float64(i%3) * 0.05)
+			}
+		}(w)
+	}
+	// Concurrent snapshots must stay internally consistent while traffic
+	// is in flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			snap := h.Snapshot()
+			var last uint64
+			for _, b := range snap.Buckets {
+				if b.Count < last {
+					t.Errorf("bucket counts not cumulative: %+v", snap.Buckets)
+					return
+				}
+				last = b.Count
+			}
+			if last > snap.Count {
+				t.Errorf("bucket total %d exceeds count %d", last, snap.Count)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter=%d want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge=%v want 0", got)
+	}
+	snap := h.Snapshot()
+	if snap.Count != workers*perWorker {
+		t.Fatalf("hist count=%d want %d", snap.Count, workers*perWorker)
+	}
+	if total := snap.Buckets[len(snap.Buckets)-1].Count; total != snap.Count {
+		// every observed value (0, 0.05, 0.1) is ≤ 1
+		t.Fatalf("bucket total=%d want %d", total, snap.Count)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive ≤-bound semantics of the
+// Prometheus bucket convention.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_bounds", "bounds", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4.9, 5, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	want := []struct {
+		le    float64
+		count uint64
+	}{{1, 2}, {2, 4}, {5, 6}}
+	for i, w := range want {
+		b := snap.Buckets[i]
+		if b.Le != w.le || b.Count != w.count {
+			t.Errorf("bucket %d = {le:%v count:%d}, want {le:%v count:%d}", i, b.Le, b.Count, w.le, w.count)
+		}
+	}
+	if snap.Count != 7 {
+		t.Errorf("count=%d want 7 (100 lands in +Inf only)", snap.Count)
+	}
+	wantSum := 0.5 + 1 + 1.0000001 + 2 + 4.9 + 5 + 100
+	if math.Abs(snap.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum=%v want %v", snap.Sum, wantSum)
+	}
+}
+
+// TestPrometheusExpositionGolden pins the exposition format byte for byte.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.CounterVec("wf_requests_total", "HTTP requests.", "route", "code")
+	c.With("/submit", "2xx").Add(3)
+	c.With("/submit", "4xx").Inc()
+	reg.Gauge("wf_run_events", "Events in the run.").Set(7)
+	h := reg.Histogram("wf_latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	reg.Counter("wf_untouched_total", `odd "help" with \ and
+newline`)
+
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP wf_latency_seconds Request latency.
+# TYPE wf_latency_seconds histogram
+wf_latency_seconds_bucket{le="0.1"} 1
+wf_latency_seconds_bucket{le="1"} 2
+wf_latency_seconds_bucket{le="+Inf"} 3
+wf_latency_seconds_sum 2.55
+wf_latency_seconds_count 3
+# HELP wf_requests_total HTTP requests.
+# TYPE wf_requests_total counter
+wf_requests_total{route="/submit",code="2xx"} 3
+wf_requests_total{route="/submit",code="4xx"} 1
+# HELP wf_run_events Events in the run.
+# TYPE wf_run_events gauge
+wf_run_events 7
+# HELP wf_untouched_total odd "help" with \\ and\nnewline
+# TYPE wf_untouched_total counter
+wf_untouched_total 0
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryGetOrCreate checks that re-registration returns the same
+// series and that schema mismatches panic.
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("same_total", "h")
+	b := reg.Counter("same_total", "h")
+	if a != b {
+		t.Fatal("re-registration must return the existing counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("the two handles must share state")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type mismatch must panic")
+			}
+		}()
+		reg.Gauge("same_total", "h")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label mismatch must panic")
+			}
+		}()
+		reg.CounterVec("same_total", "h", "route")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid name must panic")
+			}
+		}()
+		reg.Counter("0bad name", "h")
+	}()
+}
+
+// TestLoggerSetup covers level/format parsing and the auto format on a
+// non-TTY writer (JSON).
+func TestLoggerSetup(t *testing.T) {
+	var b bytes.Buffer
+	l, err := NewLogger(&b, "warn", "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hidden")
+	Sub(l, "wal").Warn("shown", slog.Int("n", 1))
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info must be filtered at warn level: %q", out)
+	}
+	if !strings.Contains(out, `"subsystem":"wal"`) || !strings.Contains(out, `"n":1`) {
+		t.Errorf("auto format on non-TTY must be JSON with subsystem attr: %q", out)
+	}
+	if _, err := NewLogger(&b, "nope", "auto"); err == nil {
+		t.Error("bad level must error")
+	}
+	if _, err := NewLogger(&b, "info", "nope"); err == nil {
+		t.Error("bad format must error")
+	}
+	Sub(nil, "x").Info("dropped") // discard logger must not panic
+}

@@ -95,6 +95,33 @@ type Options struct {
 	// subset space. 0 selects GOMAXPROCS; 1 forces the sequential scan.
 	// The scenario returned is identical for every width.
 	Parallelism int
+	// Stats, when non-nil, accumulates search-effort counters across calls.
+	Stats *Stats
+}
+
+// Stats reports the effort of the exact scenario searches. Pass a *Stats in
+// Options.Stats to collect it; repeated calls accumulate.
+type Stats struct {
+	// Checks counts candidate subsequences replayed against the target
+	// view.
+	Checks int64 `json:"checks"`
+	// Jobs counts the (size, chunk) work items MinimumCtx fanned out.
+	Jobs int64 `json:"jobs"`
+	// Cancelled counts searches abandoned by context cancellation.
+	Cancelled int64 `json:"cancelled"`
+	// Workers is the worker-pool width the last call resolved to.
+	Workers int `json:"workers"`
+}
+
+// Delta returns the counter difference s − before (Workers, a last-value
+// gauge, is carried over from s).
+func (s Stats) Delta(before Stats) Stats {
+	return Stats{
+		Checks:    s.Checks - before.Checks,
+		Jobs:      s.Jobs - before.Jobs,
+		Cancelled: s.Cancelled - before.Cancelled,
+		Workers:   s.Workers,
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -129,8 +156,20 @@ const chunkBits = 12
 // scenario returned (the one with the lexicographically least mask among
 // those of minimum length) is identical for every worker count. Cancelling
 // ctx aborts the search with ctx.Err().
-func MinimumCtx(ctx context.Context, r *program.Run, p schema.Peer, opts Options) ([]int, error) {
+func MinimumCtx(ctx context.Context, r *program.Run, p schema.Peer, opts Options) (out []int, err error) {
 	opts = opts.withDefaults()
+	var checks atomic.Int64
+	var njobs int
+	defer func() {
+		if st := opts.Stats; st != nil {
+			st.Checks += checks.Load()
+			st.Jobs += int64(njobs)
+			st.Workers = par.Workers(opts.Parallelism)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				st.Cancelled++
+			}
+		}
+	}()
 	visible, invisible := split(r, p)
 	if len(invisible) > opts.MaxChoice {
 		return nil, fmt.Errorf("%w: %d invisible events > MaxChoice %d", ErrBudget, len(invisible), opts.MaxChoice)
@@ -154,7 +193,7 @@ func MinimumCtx(ctx context.Context, r *program.Run, p schema.Peer, opts Options
 			jobs = append(jobs, job{size: size, lo: c * chunk, hi: (c + 1) * chunk})
 		}
 	}
-	var checks atomic.Int64
+	njobs = len(jobs)
 	found := make([][]int, len(jobs))
 	idx, err := par.ForEachOrdered(ctx, par.Workers(opts.Parallelism), len(jobs), func(jctx context.Context, i int) (bool, error) {
 		j := jobs[i]
@@ -271,6 +310,11 @@ func IsMinimal(r *program.Run, p schema.Peer, indices []int, opts Options) (bool
 		return false, fmt.Errorf("%w: %d removable events > MaxChoice %d", ErrBudget, n, opts.MaxChoice)
 	}
 	checks := 0
+	defer func() {
+		if st := opts.Stats; st != nil {
+			st.Checks += int64(checks)
+		}
+	}()
 	// Any strict subsequence keeps the visible events (dropping one can
 	// never preserve the view), so enumerate strict subsets of removable.
 	for mask := uint64(0); mask < 1<<uint(n); mask++ {

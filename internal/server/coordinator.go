@@ -14,8 +14,10 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"time"
 
 	"collabwf/internal/core"
 	"collabwf/internal/data"
@@ -23,6 +25,7 @@ import (
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
 	"collabwf/internal/trace"
+	"collabwf/internal/transparency"
 	"collabwf/internal/wal"
 )
 
@@ -72,7 +75,18 @@ type Coordinator struct {
 	// dropped counts notifications lost to slow subscribers. It counts
 	// delivery attempts on accepted events only: a guard- or WAL-rejected
 	// submission never reaches notify, so it can neither deliver nor drop.
-	dropped int
+	// droppedByPeer attributes the same losses to the subscribing peer, for
+	// /statusz and the wf_notifications_dropped_total{peer} family.
+	dropped       int
+	droppedByPeer map[schema.Peer]int
+
+	// metrics and logger are the observability hooks (nil-safe); see
+	// metrics.go. recoveryTime/recoveredEvents stamp the last recovery so a
+	// later Instrument can surface it.
+	metrics         *Metrics
+	logger          *slog.Logger
+	recoveryTime    time.Duration
+	recoveredEvents int
 
 	// log, when non-nil, makes the coordinator durable: every accepted
 	// event is appended (log-before-accept) and the run prefix is
@@ -96,6 +110,7 @@ func New(name string, p *program.Program) *Coordinator {
 		guards:        make(map[schema.Peer]int),
 		guardMonitors: make(map[schema.Peer]*design.Monitor),
 		subs:          make(map[schema.Peer]map[int]chan Notification),
+		droppedByPeer: make(map[schema.Peer]int),
 	}
 }
 
@@ -138,11 +153,28 @@ func (c *Coordinator) Guard(peer schema.Peer, h int) error {
 func (c *Coordinator) Certify(ctx context.Context, peer schema.Peer, h int, opts core.Options) error {
 	c.mu.Lock()
 	prog := c.prog
+	m := c.metrics
 	c.mu.Unlock()
 	if !prog.Schema.HasPeer(peer) {
 		return fmt.Errorf("server: unknown peer %s", peer)
 	}
+	// The registry sees the search effort of every Certify call: collect
+	// Stats (into the caller's collector when one is given) and fold the
+	// delta into the decider families afterwards.
+	if m != nil && opts.Stats == nil {
+		opts.Stats = &transparency.Stats{}
+	}
+	var before transparency.Stats
+	if opts.Stats != nil {
+		before = *opts.Stats
+	}
+	defer func() {
+		if opts.Stats != nil {
+			m.foldSearch(opts.Stats.Delta(before))
+		}
+	}()
 	bv, err := core.CheckBoundedCtx(ctx, prog, peer, h, opts)
+	m.deciderOutcome("bounded", bv != nil, err)
 	if err != nil {
 		return fmt.Errorf("server: certifying %s: %w", peer, err)
 	}
@@ -150,6 +182,7 @@ func (c *Coordinator) Certify(ctx context.Context, peer schema.Peer, h int, opts
 		return fmt.Errorf("server: %s is not %d-bounded: %s", peer, h, bv)
 	}
 	tv, err := core.CheckTransparentCtx(ctx, prog, peer, h, opts)
+	m.deciderOutcome("transparent", tv != nil, err)
 	if err != nil {
 		return fmt.Errorf("server: certifying %s: %w", peer, err)
 	}
@@ -166,18 +199,22 @@ func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[str
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
+		c.metrics.rejected("closed")
 		return nil, fmt.Errorf("server: coordinator is shut down")
 	}
 	rl := c.prog.Rule(ruleName)
 	if rl == nil {
+		c.metrics.rejected("unknown_rule")
 		return nil, fmt.Errorf("server: unknown rule %s", ruleName)
 	}
 	if rl.Peer != peer {
+		c.metrics.rejected("wrong_peer")
 		return nil, fmt.Errorf("server: rule %s belongs to %s, not %s", ruleName, rl.Peer, peer)
 	}
 	prevLen := c.run.Len()
 	e, err := c.run.FireRule(ruleName, bindings)
 	if err != nil {
+		c.metrics.rejected("not_applicable")
 		return nil, err
 	}
 	// Guard check: each guard's monitor is synced incrementally (one step
@@ -187,6 +224,10 @@ func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[str
 		m.Sync()
 		if vs := m.Violations(); len(vs) > 0 {
 			c.rollbackTo(prevLen)
+			c.metrics.rejected("guard")
+			c.logw().Info("submission rejected by guard",
+				slog.String("peer", string(peer)), slog.String("rule", ruleName),
+				slog.String("guarded", string(guarded)), slog.String("reason", vs[len(vs)-1].Reason))
 			return nil, fmt.Errorf("server: rejected by the transparency guard for %s: %s", guarded, vs[len(vs)-1].Reason)
 		}
 	}
@@ -197,9 +238,15 @@ func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[str
 	if c.log != nil {
 		if err := c.log.Append(wal.Record{Seq: idx, Event: trace.EncodeEvent(e)}); err != nil {
 			c.rollbackTo(prevLen)
+			c.metrics.rejected("wal")
+			c.logw().Error("event not durable, submission rejected",
+				slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
 			return nil, fmt.Errorf("server: event not durable, rejected: %w", err)
 		}
 	}
+	c.metrics.accepted(c.run.Len())
+	c.logw().Debug("submission accepted",
+		slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Int("index", idx))
 	res := &SubmitResult{Index: idx}
 	for _, u := range e.Updates {
 		res.Updates = append(res.Updates, u.String())
@@ -241,6 +288,7 @@ func (c *Coordinator) sortedGuards() []schema.Peer {
 // subscriber channels' contents, and the dropped counter are guaranteed
 // unchanged — all three are asserted by TestGuardRejectionLeavesNoTrace.
 func (c *Coordinator) rollbackTo(n int) {
+	c.metrics.rolledBack()
 	fresh := program.NewRunFrom(c.prog, c.run.Initial)
 	for i := 0; i < n; i++ {
 		fresh.MustAppend(c.run.Event(i))
@@ -284,8 +332,15 @@ func (c *Coordinator) notify(idx int) {
 		for _, ch := range chans {
 			select {
 			case ch <- n:
+				if c.metrics != nil {
+					c.metrics.notifSent.Inc()
+				}
 			default:
 				c.dropped++
+				c.droppedByPeer[peer]++
+				if c.metrics != nil {
+					c.metrics.notifDropped.With(string(peer)).Inc()
+				}
 			}
 		}
 	}
@@ -329,10 +384,16 @@ func (c *Coordinator) Subscribe(peer schema.Peer, buffer int) (<-chan Notificati
 	c.nextID++
 	id := c.nextID
 	c.subs[peer][id] = ch
+	if c.metrics != nil {
+		c.metrics.subscribers.Inc()
+	}
 	cancel := func() {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		if chans := c.subs[peer]; chans != nil {
+			if _, ok := chans[id]; ok && c.metrics != nil {
+				c.metrics.subscribers.Dec()
+			}
 			delete(chans, id)
 		}
 	}
@@ -406,4 +467,46 @@ func (c *Coordinator) Dropped() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.dropped
+}
+
+// DroppedByPeer reports notifications lost to slow subscribers, attributed
+// to the subscribing peer. The map is a copy.
+func (c *Coordinator) DroppedByPeer() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.droppedByPeer))
+	for p, n := range c.droppedByPeer {
+		out[string(p)] = n
+	}
+	return out
+}
+
+// Name returns the workflow name.
+func (c *Coordinator) Name() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.name
+}
+
+// Guards returns the installed transparency guards (peer → step budget h).
+// The map is a copy.
+func (c *Coordinator) Guards() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.guards))
+	for p, h := range c.guards {
+		out[string(p)] = h
+	}
+	return out
+}
+
+// Subscribers returns the number of registered notification channels.
+func (c *Coordinator) Subscribers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, chans := range c.subs {
+		total += len(chans)
+	}
+	return total
 }

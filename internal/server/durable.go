@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"collabwf/internal/design"
+	"collabwf/internal/obs"
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
 	"collabwf/internal/trace"
@@ -25,6 +26,9 @@ type DurabilityConfig struct {
 	SnapshotEvery int
 	// Failpoints, when non-nil, injects WAL faults (tests only).
 	Failpoints *wal.Failpoints
+	// Metrics, when non-nil, records WAL and recovery telemetry on the
+	// registry (the wf_wal_* and wf_recovery_* families).
+	Metrics *obs.Registry
 }
 
 // NewDurable starts a durable coordinator rooted at cfg.Dir. If the
@@ -42,10 +46,12 @@ func NewDurable(name string, p *program.Program, cfg DurabilityConfig) (*Coordin
 // explainers and guard monitors. Every replayed event passes the full run
 // conditions again, so a tampered log is rejected, not replayed.
 func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinator, error) {
+	start := time.Now()
 	log, err := wal.Open(cfg.Dir, wal.Options{
 		Sync:         cfg.Sync,
 		SyncInterval: cfg.SyncInterval,
 		Failpoints:   cfg.Failpoints,
+		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -94,6 +100,7 @@ func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinato
 			c.guardMonitors[sp] = design.NewMonitor(c.run, sp, h)
 		}
 	}
+	c.observeRecovery(time.Since(start), c.run.Len())
 	return c, nil
 }
 

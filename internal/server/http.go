@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
+	"collabwf/internal/core"
 	"collabwf/internal/data"
+	"collabwf/internal/obs"
 	"collabwf/internal/schema"
 )
 
@@ -18,6 +21,13 @@ type HTTPOptions struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps the /submit request body; ≤ 0 means 1 MiB.
 	MaxBodyBytes int64
+	// Metrics, when non-nil, instruments every route (request count by
+	// status class, in-flight gauge, latency histogram) and adds the
+	// /metrics (Prometheus text) and /statusz (JSON summary) endpoints.
+	Metrics *Metrics
+	// Logger, when non-nil, enables request-scoped access logging through
+	// the "http" subsystem.
+	Logger *slog.Logger
 }
 
 const defaultMaxBody = 1 << 20
@@ -30,6 +40,8 @@ const defaultMaxBody = 1 << 20
 //	GET  /scenario?peer=p
 //	GET  /transitions?peer=p&from=0
 //	GET  /trace
+//	GET  /certify?peer=p&h=3   run the static deciders (h-boundedness,
+//	                           then transparency) for the peer
 //	GET  /healthz       liveness: the process serves requests
 //	GET  /readyz        readiness: recovery complete and the WAL writable
 //
@@ -48,8 +60,17 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
+	httpLog := obs.Sub(opts.Logger, "http")
+	if opts.Logger == nil {
+		httpLog = nil
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+	// handle wraps every route with the instrumentation and access-log
+	// middleware (both no-ops when unconfigured).
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle(route, Instrument(opts.Metrics, route, AccessLog(httpLog, route, h)))
+	}
+	handle("/submit", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 			return
@@ -89,7 +110,7 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 		writeJSON(w, res)
 	})
 
-	mux.HandleFunc("/view", func(w http.ResponseWriter, r *http.Request) {
+	handle("/view", func(w http.ResponseWriter, r *http.Request) {
 		v, err := c.View(peerParam(r))
 		if err != nil {
 			httpError(w, http.StatusNotFound, err)
@@ -98,7 +119,7 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 		writeJSON(w, map[string]string{"view": v})
 	})
 
-	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+	handle("/explain", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := c.Explain(peerParam(r))
 		if err != nil {
 			httpError(w, http.StatusNotFound, err)
@@ -107,7 +128,7 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 		writeJSON(w, map[string]any{"report": rep, "text": rep.String()})
 	})
 
-	mux.HandleFunc("/scenario", func(w http.ResponseWriter, r *http.Request) {
+	handle("/scenario", func(w http.ResponseWriter, r *http.Request) {
 		seq, err := c.Scenario(peerParam(r))
 		if err != nil {
 			httpError(w, http.StatusNotFound, err)
@@ -116,7 +137,7 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 		writeJSON(w, map[string]any{"events": seq})
 	})
 
-	mux.HandleFunc("/transitions", func(w http.ResponseWriter, r *http.Request) {
+	handle("/transitions", func(w http.ResponseWriter, r *http.Request) {
 		from := 0
 		if f := r.URL.Query().Get("from"); f != "" {
 			n, err := strconv.Atoi(f)
@@ -134,24 +155,51 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 		writeJSON(w, map[string]any{"transitions": ts, "len": c.Len()})
 	})
 
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+	handle("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := c.Trace().Write(w); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 		}
 	})
 
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/certify", func(w http.ResponseWriter, r *http.Request) {
+		h := 0
+		if hs := r.URL.Query().Get("h"); hs != "" {
+			n, err := strconv.Atoi(hs)
+			if err != nil || n < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad h: %q", hs))
+				return
+			}
+			h = n
+		}
+		peer := peerParam(r)
+		if err := c.Certify(r.Context(), peer, h, core.Options{}); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, map[string]any{"peer": peer, "h": h, "certified": true})
+	})
+
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"status": "ok"})
 	})
 
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if err := c.Ready(); err != nil {
 			httpError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 		writeJSON(w, map[string]any{"status": "ready", "events": c.Len(), "durable": c.Durable()})
 	})
+
+	// Observability endpoints (registered only when a registry is wired):
+	// /metrics serves the Prometheus text format; /statusz a human-oriented
+	// JSON summary. Neither is instrumented — a scraper should not move the
+	// latency histograms it is reading.
+	if opts.Metrics != nil {
+		mux.Handle("/metrics", obs.MetricsHandler(opts.Metrics.Registry()))
+		mux.Handle("/statusz", StatuszHandler(c, opts.Metrics.Registry()))
+	}
 
 	return Recovery(WithTimeout(opts.RequestTimeout, mux))
 }

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"time"
+
+	"collabwf/internal/obs"
+	"collabwf/internal/transparency"
+)
+
+// Metrics is the coordinator/HTTP metric surface, registered on an
+// obs.Registry. All families use the wf_ prefix; the full catalogue is
+// documented in README.md ("Observability"). Registration is get-or-create,
+// so wiring two coordinators (or re-wiring after recovery) onto one
+// registry shares series instead of colliding.
+type Metrics struct {
+	reg *obs.Registry
+
+	// HTTP layer.
+	httpRequests obs.CounterVec // route, code (status class: 2xx…5xx)
+	httpInFlight *obs.Gauge
+	httpLatency  obs.HistogramVec // route
+
+	// Coordinator.
+	submitAccepted *obs.Counter
+	submitRejected obs.CounterVec // reason
+	rollbacks      *obs.Counter
+	runEvents      *obs.Gauge
+	subscribers    *obs.Gauge
+	notifSent      *obs.Counter
+	notifDropped   obs.CounterVec // peer
+	recoverySecs   *obs.Gauge
+	recoveredEvs   *obs.Gauge
+
+	// Decider search (Certify): the transparency.Stats counters surfaced
+	// as registry families.
+	deciderRuns    obs.CounterVec // check, outcome
+	deciderNodes   *obs.Counter
+	deciderHits    *obs.Counter
+	deciderMisses  *obs.Counter
+	deciderStates  *obs.Counter
+	deciderCancels *obs.Counter
+	deciderWorkers *obs.Gauge
+}
+
+// NewMetrics registers (or retrieves) the server metric families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		reg: reg,
+		httpRequests: reg.CounterVec("wf_http_requests_total",
+			"HTTP requests served, by route and status class.", "route", "code"),
+		httpInFlight: reg.Gauge("wf_http_in_flight_requests",
+			"HTTP requests currently being served."),
+		httpLatency: reg.HistogramVec("wf_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.", nil, "route"),
+
+		submitAccepted: reg.Counter("wf_submissions_accepted_total",
+			"Submissions accepted into the global run."),
+		submitRejected: reg.CounterVec("wf_submissions_rejected_total",
+			"Submissions rejected, by reason (closed, unknown_rule, wrong_peer, not_applicable, guard, wal).", "reason"),
+		rollbacks: reg.Counter("wf_rollbacks_total",
+			"Run rollbacks after a rejected submission (guard violation or WAL failure)."),
+		runEvents: reg.Gauge("wf_run_events",
+			"Events accepted into the global run so far."),
+		subscribers: reg.Gauge("wf_subscribers",
+			"Registered notification subscribers."),
+		notifSent: reg.Counter("wf_notifications_sent_total",
+			"Notifications delivered to subscriber channels."),
+		notifDropped: reg.CounterVec("wf_notifications_dropped_total",
+			"Notifications dropped on full subscriber channels, by peer.", "peer"),
+		recoverySecs: reg.Gauge("wf_coordinator_recovery_seconds",
+			"Wall time of the last snapshot+WAL recovery."),
+		recoveredEvs: reg.Gauge("wf_coordinator_recovered_events",
+			"Events reconstructed by the last recovery."),
+
+		deciderRuns: reg.CounterVec("wf_decider_runs_total",
+			"Decider invocations via Certify, by check (bounded, transparent) and outcome (ok, violation, cancelled, error).", "check", "outcome"),
+		deciderNodes: reg.Counter("wf_decider_nodes_total",
+			"Search-tree nodes expanded by the deciders."),
+		deciderHits: reg.Counter("wf_decider_cache_hits_total",
+			"Candidate-memo cache hits in the decider search."),
+		deciderMisses: reg.Counter("wf_decider_cache_misses_total",
+			"Candidate-memo cache misses in the decider search."),
+		deciderStates: reg.Counter("wf_decider_states_total",
+			"Distinct canonical states kept by the instance enumeration."),
+		deciderCancels: reg.Counter("wf_decider_cancellations_total",
+			"Decider searches abandoned by context cancellation."),
+		deciderWorkers: reg.Gauge("wf_decider_workers",
+			"Worker-pool width of the last decider search."),
+	}
+}
+
+// Registry returns the backing registry (for /metrics and /statusz).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// rejected records one rejected submission. Nil-safe.
+func (m *Metrics) rejected(reason string) {
+	if m != nil {
+		m.submitRejected.With(reason).Inc()
+	}
+}
+
+// accepted records one accepted submission and the new run length. Nil-safe.
+func (m *Metrics) accepted(runLen int) {
+	if m != nil {
+		m.submitAccepted.Inc()
+		m.runEvents.Set(float64(runLen))
+	}
+}
+
+// rolledBack records one rollback. Nil-safe.
+func (m *Metrics) rolledBack() {
+	if m != nil {
+		m.rollbacks.Inc()
+	}
+}
+
+// foldSearch folds a decider search-effort delta into the registry.
+// Nil-safe.
+func (m *Metrics) foldSearch(d transparency.Stats) {
+	if m == nil {
+		return
+	}
+	m.deciderNodes.Add(d.Nodes)
+	m.deciderHits.Add(d.CacheHits)
+	m.deciderMisses.Add(d.CacheMisses)
+	m.deciderStates.Add(d.States)
+	m.deciderCancels.Add(d.Cancelled)
+	if d.Workers > 0 {
+		m.deciderWorkers.Set(float64(d.Workers))
+	}
+}
+
+// deciderOutcome records one decider invocation. Nil-safe.
+func (m *Metrics) deciderOutcome(check string, violation bool, err error) {
+	if m == nil {
+		return
+	}
+	outcome := "ok"
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = "cancelled"
+	case err != nil:
+		outcome = "error"
+	case violation:
+		outcome = "violation"
+	}
+	m.deciderRuns.With(check, outcome).Inc()
+}
+
+// Instrument attaches the coordinator to a metric registry and returns the
+// Metrics handle (register it with NewHandler via HTTPOptions.Metrics to
+// expose /metrics and instrument the routes). Gauges are seeded from the
+// current state, so a recovered run is visible immediately. Safe to call
+// once, before or after traffic starts.
+func (c *Coordinator) Instrument(reg *obs.Registry) *Metrics {
+	m := NewMetrics(reg)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = m
+	m.runEvents.Set(float64(c.run.Len()))
+	total := 0
+	for _, chans := range c.subs {
+		total += len(chans)
+	}
+	m.subscribers.Set(float64(total))
+	if c.recoveryTime > 0 {
+		m.recoverySecs.Set(c.recoveryTime.Seconds())
+		m.recoveredEvs.Set(float64(c.recoveredEvents))
+	}
+	return m
+}
+
+// SetLogger attaches a structured logger; the coordinator logs through the
+// "coordinator" subsystem. A nil logger silences it (the default).
+func (c *Coordinator) SetLogger(l *slog.Logger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l == nil {
+		c.logger = obs.Discard()
+		return
+	}
+	c.logger = obs.Sub(l, "coordinator")
+}
+
+// logw returns the coordinator's logger (never nil). Callers hold the lock
+// or tolerate a racy read of an immutable-after-set pointer.
+func (c *Coordinator) logw() *slog.Logger {
+	if c.logger == nil {
+		return obs.Discard()
+	}
+	return c.logger
+}
+
+// observeRecovery stamps recovery telemetry on the coordinator so a later
+// Instrument can surface it.
+func (c *Coordinator) observeRecovery(d time.Duration, events int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recoveryTime = d
+	c.recoveredEvents = events
+}

@@ -2,9 +2,95 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 )
+
+// statusWriter records the first status code a handler set, so the
+// instrumentation middleware can classify the response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// statusClass buckets a status code into its Prometheus label class.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// Instrument wraps one route with request metrics: per-route request count
+// by status class, in-flight gauge, and a latency histogram. A nil Metrics
+// returns next unchanged, so uninstrumented servers pay nothing.
+func Instrument(m *Metrics, route string, next http.Handler) http.Handler {
+	if m == nil {
+		return next
+	}
+	requests := m.httpRequests
+	latency := m.httpLatency.With(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.httpInFlight.Inc()
+		defer m.httpInFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		requests.With(route, statusClass(code)).Inc()
+		latency.Observe(time.Since(start).Seconds())
+	})
+}
+
+// AccessLog wraps one route with request-scoped structured logging: each
+// completed request is logged with route, method, status, duration and the
+// client address. A nil logger returns next unchanged.
+func AccessLog(l *slog.Logger, route string, next http.Handler) http.Handler {
+	if l == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		lvl := slog.LevelDebug
+		if code >= 500 {
+			lvl = slog.LevelWarn
+		}
+		l.Log(r.Context(), lvl, "request",
+			slog.String("route", route), slog.String("method", r.Method),
+			slog.Int("status", code), slog.Duration("duration", time.Since(start)),
+			slog.String("remote", r.RemoteAddr))
+	})
+}
 
 // Recovery turns a handler panic into a 500 JSON error instead of killing
 // the serving goroutine's connection (and, for panics escaping ServeHTTP

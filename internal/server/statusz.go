@@ -1,0 +1,87 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"collabwf/internal/obs"
+)
+
+// Statusz is the JSON document served on /statusz: a one-page operator
+// summary of the coordinator (what /metrics exposes as raw families,
+// /statusz condenses into one readable object).
+type Statusz struct {
+	Workflow      string         `json:"workflow"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Events        int            `json:"events"`
+	Durable       bool           `json:"durable"`
+	Ready         string         `json:"ready"` // "ok" or the readiness error
+	Guards        map[string]int `json:"guards,omitempty"`
+	Subscribers   int            `json:"subscribers"`
+	// DroppedNotifications surfaces notifications lost to slow subscribers
+	// — previously counted silently — total and attributed per peer.
+	DroppedNotifications DroppedNotifications `json:"dropped_notifications"`
+	// Metrics condenses every registered family to a scalar: counters and
+	// gauges sum their series; histograms report {count, sum}.
+	Metrics map[string]any `json:"metrics,omitempty"`
+}
+
+// DroppedNotifications is the /statusz drop report.
+type DroppedNotifications struct {
+	Total  int            `json:"total"`
+	ByPeer map[string]int `json:"by_peer,omitempty"`
+}
+
+// StatuszHandler serves the operator summary for the coordinator. reg may
+// be nil (the metrics section is then omitted).
+func StatuszHandler(c *Coordinator, reg *obs.Registry) http.Handler {
+	start := time.Now()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := Statusz{
+			Workflow:      c.Name(),
+			UptimeSeconds: time.Since(start).Seconds(),
+			Events:        c.Len(),
+			Durable:       c.Durable(),
+			Ready:         "ok",
+			Guards:        c.Guards(),
+			Subscribers:   c.Subscribers(),
+			DroppedNotifications: DroppedNotifications{
+				Total:  c.Dropped(),
+				ByPeer: c.DroppedByPeer(),
+			},
+		}
+		if err := c.Ready(); err != nil {
+			st.Ready = err.Error()
+		}
+		if reg != nil {
+			st.Metrics = summarize(reg)
+		}
+		writeJSON(w, st)
+	})
+}
+
+// summarize folds a registry snapshot into family → scalar form: counter
+// and gauge series sum; histograms keep {count, sum}.
+func summarize(reg *obs.Registry) map[string]any {
+	out := make(map[string]any)
+	for _, fam := range reg.Gather() {
+		if fam.Type == "histogram" {
+			var count uint64
+			var sum float64
+			for _, s := range fam.Series {
+				if s.Hist != nil {
+					count += s.Hist.Count
+					sum += s.Hist.Sum
+				}
+			}
+			out[fam.Name] = map[string]any{"count": count, "sum": sum}
+			continue
+		}
+		total := 0.0
+		for _, s := range fam.Series {
+			total += s.Value
+		}
+		out[fam.Name] = total
+	}
+	return out
+}

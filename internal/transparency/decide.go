@@ -44,9 +44,9 @@ func CheckBounded(p *program.Program, peer schema.Peer, h int, opts Options) (*B
 // workers; the witness returned is the one the sequential search would find
 // first, for every worker count. Cancelling ctx aborts the search with
 // ctx.Err().
-func CheckBoundedCtx(ctx context.Context, p *program.Program, peer schema.Peer, h int, opts Options) (*BoundViolation, error) {
+func CheckBoundedCtx(ctx context.Context, p *program.Program, peer schema.Peer, h int, opts Options) (v *BoundViolation, err error) {
 	s := newSearcher(p, peer, h, opts)
-	defer s.finish()
+	defer func() { s.finishWith(err) }()
 	instances, err := s.instances(ctx)
 	if err != nil {
 		return nil, err
@@ -158,9 +158,9 @@ func CheckTransparent(p *program.Program, peer schema.Peer, h int, opts Options)
 // The ordered (I, J) pairs fan out on Options.Parallelism workers; the
 // witness returned is the one the sequential search would find first, for
 // every worker count. Cancelling ctx aborts the search with ctx.Err().
-func CheckTransparentCtx(ctx context.Context, p *program.Program, peer schema.Peer, h int, opts Options) (*TransparencyViolation, error) {
+func CheckTransparentCtx(ctx context.Context, p *program.Program, peer schema.Peer, h int, opts Options) (v *TransparencyViolation, err error) {
 	s := newSearcher(p, peer, h, opts)
-	defer s.finish()
+	defer func() { s.finishWith(err) }()
 	fresh, err := s.freshInstances(ctx)
 	if err != nil {
 		return nil, err

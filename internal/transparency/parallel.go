@@ -12,16 +12,33 @@ import (
 // it; repeated calls with the same Options (e.g. Bound's h-loop) accumulate.
 type Stats struct {
 	// Nodes is the number of search-tree nodes (event firings) explored.
-	Nodes int64
+	Nodes int64 `json:"nodes"`
 	// CacheHits and CacheMisses count lookups of the shared
 	// candidate-memoization cache.
-	CacheHits   int64
-	CacheMisses int64
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
 	// States is the number of distinct canonical states the instance
 	// enumeration kept.
-	States int64
+	States int64 `json:"states"`
+	// Cancelled counts searches abandoned by context cancellation (the
+	// caller's ctx, not the internal first-violation cancellation).
+	Cancelled int64 `json:"cancelled"`
 	// Workers is the worker-pool width the last call resolved to.
-	Workers int
+	Workers int `json:"workers"`
+}
+
+// Delta returns the counter difference s − before, for folding one call's
+// effort out of an accumulating collector. Workers (a last-value gauge, not
+// a counter) is carried over from s.
+func (s Stats) Delta(before Stats) Stats {
+	return Stats{
+		Nodes:       s.Nodes - before.Nodes,
+		CacheHits:   s.CacheHits - before.CacheHits,
+		CacheMisses: s.CacheMisses - before.CacheMisses,
+		States:      s.States - before.States,
+		Cancelled:   s.Cancelled - before.Cancelled,
+		Workers:     s.Workers,
+	}
 }
 
 // workers resolves the configured parallelism: Options.Parallelism if

@@ -170,6 +170,17 @@ func (s *searcher) finish() {
 	}
 }
 
+// finishWith is finish plus cancellation accounting: a search that ends
+// because the caller's context was cancelled counts one Stats.Cancelled.
+func (s *searcher) finishWith(err error) {
+	if st := s.opts.Stats; st != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			st.Cancelled++
+		}
+	}
+	s.finish()
+}
+
 // budgetNode charges one search-tree node against the shared budget.
 func (s *searcher) budgetNode() error {
 	if s.nodes.Add(1) > int64(s.opts.MaxNodes) {

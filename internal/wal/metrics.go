@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"time"
+
+	"collabwf/internal/obs"
+)
+
+// walMetrics is the WAL/durability metric surface. Families are registered
+// get-or-create, so several Logs (or a Log reopened across recovery) on one
+// registry share series.
+type walMetrics struct {
+	appended      *obs.Counter
+	appendErrors  *obs.Counter
+	fsyncs        *obs.Counter
+	fsyncErrors   *obs.Counter
+	fsyncLatency  *obs.Histogram
+	snapshots     *obs.Counter
+	snapErrors    *obs.Counter
+	snapLatency   *obs.Histogram
+	snapBytes     *obs.Gauge
+	openSeconds   *obs.Gauge
+	replayedRecs  *obs.Gauge
+	tornBytes     *obs.Counter
+	failpointTrip *obs.Counter
+}
+
+func newWALMetrics(reg *obs.Registry) *walMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &walMetrics{
+		appended: reg.Counter("wf_wal_records_appended_total",
+			"Records durably appended to the WAL."),
+		appendErrors: reg.Counter("wf_wal_append_errors_total",
+			"Failed WAL appends (the event was rejected and truncated away)."),
+		fsyncs: reg.Counter("wf_wal_fsync_total",
+			"WAL fsync calls issued."),
+		fsyncErrors: reg.Counter("wf_wal_fsync_errors_total",
+			"WAL fsync calls that failed."),
+		fsyncLatency: reg.Histogram("wf_wal_fsync_duration_seconds",
+			"WAL fsync latency in seconds.", nil),
+		snapshots: reg.Counter("wf_wal_snapshots_total",
+			"Snapshots written (atomic rename + log reset)."),
+		snapErrors: reg.Counter("wf_wal_snapshot_errors_total",
+			"Snapshot writes that failed."),
+		snapLatency: reg.Histogram("wf_wal_snapshot_duration_seconds",
+			"Snapshot write latency in seconds.", nil),
+		snapBytes: reg.Gauge("wf_wal_snapshot_bytes",
+			"Size of the last snapshot written, in bytes."),
+		openSeconds: reg.Gauge("wf_wal_open_seconds",
+			"Wall time of the last Open (snapshot load + log scan + torn-tail repair)."),
+		replayedRecs: reg.Gauge("wf_wal_replayed_records",
+			"Records found in the WAL tail at the last Open."),
+		tornBytes: reg.Counter("wf_wal_torn_bytes_total",
+			"Trailing bytes truncated as torn records at Open."),
+		failpointTrip: reg.Counter("wf_wal_failpoint_trips_total",
+			"Injected WAL faults that fired (tests and fault drills)."),
+	}
+}
+
+// Nil-safe recorders: an un-instrumented Log calls these on a nil receiver.
+
+func (m *walMetrics) recordAppend(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.appended.Inc()
+	} else {
+		m.appendErrors.Inc()
+	}
+}
+
+func (m *walMetrics) recordFsync(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.fsyncs.Inc()
+	if err != nil {
+		m.fsyncErrors.Inc()
+		return
+	}
+	m.fsyncLatency.Observe(d.Seconds())
+}
+
+func (m *walMetrics) recordSnapshot(d time.Duration, bytes int, err error) {
+	if m == nil {
+		return
+	}
+	m.snapshots.Inc()
+	if err != nil {
+		m.snapErrors.Inc()
+		return
+	}
+	m.snapLatency.Observe(d.Seconds())
+	m.snapBytes.Set(float64(bytes))
+}
+
+func (m *walMetrics) recordOpen(d time.Duration, replayed int, torn int64) {
+	if m == nil {
+		return
+	}
+	m.openSeconds.Set(d.Seconds())
+	m.replayedRecs.Set(float64(replayed))
+	m.tornBytes.Add(torn)
+}
+
+func (m *walMetrics) recordFailpoint() {
+	if m == nil {
+		return
+	}
+	m.failpointTrip.Inc()
+}

@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"testing"
+
+	"collabwf/internal/obs"
+	"collabwf/internal/trace"
+)
+
+// counterValue sums a family's series values; ok reports whether the
+// family exists.
+func counterValue(reg *obs.Registry, name string) (float64, bool) {
+	for _, fam := range reg.Gather() {
+		if fam.Name != name {
+			continue
+		}
+		total := 0.0
+		for _, s := range fam.Series {
+			total += s.Value
+		}
+		return total, true
+	}
+	return 0, false
+}
+
+func TestMetricsRecordAppendsSyncsAndSnapshots(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := &Snapshot{Len: 3, Trace: &trace.Trace{}}
+	if err := l.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range map[string]float64{
+		"wf_wal_records_appended_total": 3,
+		"wf_wal_snapshots_total":        1,
+		"wf_wal_append_errors_total":    0,
+		"wf_wal_torn_bytes_total":       0,
+	} {
+		if got, ok := counterValue(reg, name); !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	// SyncAlways fsyncs once per append; the snapshot's log reset may add
+	// more.
+	if got, ok := counterValue(reg, "wf_wal_fsync_total"); !ok || got < 3 {
+		t.Errorf("wf_wal_fsync_total = %v (ok=%v), want >= 3", got, ok)
+	}
+	if got, ok := counterValue(reg, "wf_wal_snapshot_bytes"); !ok || got <= 0 {
+		t.Errorf("wf_wal_snapshot_bytes = %v (ok=%v), want > 0", got, ok)
+	}
+
+	// Reopen on a fresh registry: the snapshot reset the log, so the tail
+	// is empty and recovery telemetry reflects a clean open.
+	reg2 := obs.NewRegistry()
+	l2, err := Open(dir, Options{Metrics: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got, ok := counterValue(reg2, "wf_wal_replayed_records"); !ok || got != float64(len(l2.LoadedTail())) {
+		t.Errorf("wf_wal_replayed_records = %v (ok=%v), want %d", got, ok, len(l2.LoadedTail()))
+	}
+	if got, ok := counterValue(reg2, "wf_wal_open_seconds"); !ok || got < 0 {
+		t.Errorf("wf_wal_open_seconds = %v (ok=%v)", got, ok)
+	}
+}
+
+func TestMetricsRecordFailpointsAndTornTail(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	fp := NewFailpoints()
+	fp.TornWrite(2, 4)
+	l, err := Open(dir, Options{Metrics: reg, Failpoints: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(2)); err == nil {
+		t.Fatal("expected the injected partial write to fail")
+	}
+	l.Close()
+
+	if got, _ := counterValue(reg, "wf_wal_failpoint_trips_total"); got != 1 {
+		t.Errorf("wf_wal_failpoint_trips_total = %v, want 1", got)
+	}
+	if got, _ := counterValue(reg, "wf_wal_append_errors_total"); got != 1 {
+		t.Errorf("wf_wal_append_errors_total = %v, want 1", got)
+	}
+	if got, _ := counterValue(reg, "wf_wal_records_appended_total"); got != 2 {
+		t.Errorf("wf_wal_records_appended_total = %v, want 2", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"collabwf/internal/obs"
 	"collabwf/internal/trace"
 )
 
@@ -80,6 +81,10 @@ type Options struct {
 	// Failpoints, when non-nil, lets tests inject write, partial-write and
 	// sync failures.
 	Failpoints *Failpoints
+	// Metrics, when non-nil, registers the wf_wal_* families on the
+	// registry and records appends, fsyncs, snapshots, recovery and
+	// injected faults.
+	Metrics *obs.Registry
 }
 
 const (
@@ -108,6 +113,10 @@ type Log struct {
 	loadedSnapshot *Snapshot
 	loadedTail     []Record
 	tornBytes      int64
+
+	// m records durability telemetry; nil (and silent) without
+	// Options.Metrics.
+	m *walMetrics
 }
 
 // Open opens (creating if necessary) the log rooted at dir, loading the
@@ -123,7 +132,8 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts}
+	start := time.Now()
+	l := &Log{dir: dir, opts: opts, m: newWALMetrics(opts.Metrics)}
 	if err := l.loadSnapshot(); err != nil {
 		return nil, err
 	}
@@ -140,6 +150,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: %w", err)
 	}
+	l.m.recordOpen(time.Since(start), len(l.loadedTail), l.tornBytes)
 	return l, nil
 }
 
@@ -227,11 +238,14 @@ func (l *Log) Append(rec Record) error {
 	}
 	if fp := l.opts.Failpoints; fp != nil {
 		if err := fp.beforeAppend(rec.Seq); err != nil {
+			l.m.recordFailpoint()
+			l.m.recordAppend(false)
 			return err
 		}
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
+		l.m.recordAppend(false)
 		return fmt.Errorf("wal: %w", err)
 	}
 	line = append(line, '\n')
@@ -239,19 +253,24 @@ func (l *Log) Append(rec Record) error {
 		if n, ok := fp.partialWrite(rec.Seq, len(line)); ok {
 			// Simulate a crash mid-write: some bytes land, then the write
 			// "fails". Repair by truncating back.
+			l.m.recordFailpoint()
+			l.m.recordAppend(false)
 			_, _ = l.f.Write(line[:n])
 			return l.repair(fmt.Errorf("wal: injected partial write after %d bytes", n))
 		}
 	}
 	if _, err := l.f.Write(line); err != nil {
+		l.m.recordAppend(false)
 		return l.repair(fmt.Errorf("wal: %w", err))
 	}
 	if err := l.maybeSync(); err != nil {
 		// The record may not be durable; take it back so memory and disk
 		// agree that it was never accepted.
+		l.m.recordAppend(false)
 		return l.repair(err)
 	}
 	l.end += int64(len(line))
+	l.m.recordAppend(true)
 	return nil
 }
 
@@ -285,13 +304,18 @@ func (l *Log) maybeSync() error {
 func (l *Log) syncLocked() error {
 	if fp := l.opts.Failpoints; fp != nil {
 		if err := fp.syncErr(); err != nil {
+			l.m.recordFailpoint()
+			l.m.recordFsync(0, err)
 			return err
 		}
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
+		l.m.recordFsync(0, err)
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.lastSync = time.Now()
+	l.m.recordFsync(l.lastSync.Sub(start), nil)
 	return nil
 }
 
@@ -320,16 +344,20 @@ func (l *Log) Healthy() error {
 // after it. A crash between the snapshot rename and the log reset is
 // harmless — the leftover records have Seq < snap.Len and recovery skips
 // them.
-func (l *Log) WriteSnapshot(snap *Snapshot) error {
+func (l *Log) WriteSnapshot(snap *Snapshot) (err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken != nil {
 		return fmt.Errorf("wal: log is broken: %w", l.broken)
 	}
+	start := time.Now()
+	size := 0
+	defer func() { l.m.recordSnapshot(time.Since(start), size, err) }()
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	size = len(data)
 	tmp := filepath.Join(l.dir, snapshotName+".tmp")
 	if err := writeFileSync(tmp, data); err != nil {
 		return fmt.Errorf("wal: %w", err)
