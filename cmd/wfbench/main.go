@@ -5,15 +5,22 @@
 //
 // Usage:
 //
-//	wfbench [-quick] [-only E3,E5] [-parallel N] [-json f] [-cpuprofile f] [-memprofile f]
+//	wfbench [-quick] [-only E3,E5] [-parallel N] [-json f] [-cpuprofile f]
+//	        [-memprofile f] [-trace-out f]
 //
 // Alongside the text tables, every run writes a machine-readable JSON
 // report (experiment results, wall times, allocation counts, and the
 // suite-wide search statistics) to -json, which defaults to
 // BENCH_<timestamp>.json in the working directory; -json off disables it.
+//
+// With -trace-out, every experiment runs under a span tracer and the
+// collected traces (one per experiment, with the deciders' per-phase child
+// spans) are exported in the Chrome trace-event format — load the file in
+// chrome://tracing or https://ui.perfetto.dev to see where the time went.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"collabwf/internal/bench"
+	"collabwf/internal/obs"
 )
 
 func main() {
@@ -32,9 +40,15 @@ func main() {
 	jsonOut := flag.String("json", "", `machine-readable report file (default BENCH_<timestamp>.json; "off" disables, "-" writes to stdout)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceOut := flag.String("trace-out", "", "write per-experiment span traces to this file (Chrome trace-event JSON)")
 	flag.Parse()
 
 	bench.Parallelism = *parallel
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.TracerOptions{Policy: obs.SampleAlways, Capacity: 1024, MaxSpans: 4096})
+		bench.SetContext(obs.ContextWithTracer(context.Background(), tracer))
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -71,6 +85,12 @@ func main() {
 	if err := writeReport(report, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
 		report.Failed++
+	}
+	if tracer != nil {
+		if err := writeTraces(tracer, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			report.Failed++
+		}
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -116,5 +136,26 @@ func writeReport(r *bench.Report, dest string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wfbench: report written to %s\n", dest)
+	return nil
+}
+
+// writeTraces exports the retained experiment traces as Chrome trace-event
+// JSON ("-" writes to stdout).
+func writeTraces(t *obs.Tracer, dest string) error {
+	if dest == "-" {
+		return obs.WriteChromeTrace(os.Stdout, t.Traces())
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, t.Traces()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wfbench: traces written to %s\n", dest)
 	return nil
 }

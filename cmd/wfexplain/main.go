@@ -6,15 +6,18 @@
 // Usage:
 //
 //	wfexplain -spec workflow.wf -peer sue [-steps 20] [-seed 1] [-minimum]
+//	          [-log-level warn] [-log-format auto|text|json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"collabwf/internal/core"
 	"collabwf/internal/engine"
+	"collabwf/internal/obs"
 	"collabwf/internal/parse"
 	"collabwf/internal/program"
 	"collabwf/internal/prov"
@@ -32,12 +35,17 @@ func main() {
 	tracePath := flag.String("trace", "", "explain this recorded JSON trace instead of a random run")
 	dotPath := flag.String("dot", "", "write the provenance graph (Graphviz DOT) to this file")
 	event := flag.Int("event", -1, "explain this single event (chain of causes and dependents)")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine, "warn")
 	flag.Parse()
 
 	if *specPath == "" || *peer == "" {
 		fmt.Fprintln(os.Stderr, "wfexplain: -spec and -peer are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	logger, err := logFlags.NewLogger(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(*specPath)
 	if err != nil {
@@ -47,6 +55,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	logger.Debug("spec loaded", "workflow", spec.Name, "rules", len(spec.Program.Rules()), "peers", len(spec.Program.Peers()))
 	p := schema.Peer(*peer)
 	if !spec.Program.Schema.HasPeer(p) {
 		fatal(fmt.Errorf("unknown peer %s", p))
@@ -106,7 +115,9 @@ func main() {
 	}
 
 	if *minimum {
+		start := time.Now()
 		min, err := scenario.Minimum(r, p, scenario.Options{})
+		logger.Debug("minimum scenario search done", "duration", time.Since(start), "err", err)
 		if err != nil {
 			fmt.Printf("minimum scenario search: %v\n", err)
 		} else {

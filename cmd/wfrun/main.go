@@ -29,8 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random scheduler seed")
 	peer := flag.String("peer", "", "print only this peer's view")
 	out := flag.String("out", "", "write the run as a JSON trace to this file")
-	logLevel := flag.String("log-level", "warn", "log level: debug, info, warn or error")
-	logFormat := flag.String("log-format", obs.FormatAuto, "log format: auto (text on a TTY, JSON otherwise), text or json")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine, "warn")
 	flag.Parse()
 
 	if *specPath == "" {
@@ -38,7 +37,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	logger, err := logFlags.NewLogger(os.Stderr)
 	if err != nil {
 		fatal(err)
 	}

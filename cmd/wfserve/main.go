@@ -19,15 +19,20 @@
 //	        [-snapshot-every 256] [-shutdown-timeout 10s]
 //	        [-request-timeout 30s] [-debug-addr :6060]
 //	        [-log-level info] [-log-format auto|text|json]
+//	        [-trace-sample always|error|slow|off] [-trace-slow 100ms]
+//	        [-trace-buffer 256]
 //
 // Endpoints: POST /submit, GET /view, /explain, /scenario, /transitions,
 // /trace, /healthz, /readyz, /metrics, /statusz (see internal/server).
-// With -debug-addr a second listener additionally serves /metrics and
-// net/http/pprof — keep it off the public interface.
+// With -debug-addr a second listener additionally serves /metrics,
+// net/http/pprof and the trace flight recorder at /debug/traces — keep it
+// off the public interface.
 //
 // Every layer is instrumented: request counts/latency per route, submission
 // accept/reject counters, WAL fsync and snapshot latencies, decider search
-// effort. Logs are structured (log/slog): text on a terminal, JSON when
+// effort, Go runtime gauges, and request-scoped traces (HTTP → coordinator
+// → WAL span trees, retained per -trace-sample; every log line carries its
+// trace_id). Logs are structured (log/slog): text on a terminal, JSON when
 // piped, overridable with -log-format.
 package main
 
@@ -65,9 +70,11 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request timeout (0 = unbounded)")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum /submit body size in bytes")
-	debugAddr := flag.String("debug-addr", "", "debug listener (pprof + /metrics); empty = disabled")
-	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
-	logFormat := flag.String("log-format", obs.FormatAuto, "log format: auto (text on a TTY, JSON otherwise), text or json")
+	debugAddr := flag.String("debug-addr", "", "debug listener (pprof + /metrics + /debug/traces); empty = disabled")
+	traceSample := flag.String("trace-sample", "always", "trace sampling policy: always, error, slow or off")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "root-span duration threshold for -trace-sample slow")
+	traceBuffer := flag.Int("trace-buffer", 256, "completed traces retained by the flight recorder")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine, "info")
 	var guards guardFlags
 	flag.Var(&guards, "guard", "peer=h transparency guard (repeatable)")
 	flag.Parse()
@@ -77,9 +84,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	logger, err := logFlags.NewLogger(os.Stderr)
 	if err != nil {
 		fatal(err)
+	}
+	policy, err := obs.ParseSamplePolicy(*traceSample)
+	if err != nil {
+		fatal(err)
+	}
+	var tracer *obs.Tracer
+	if policy != obs.SampleOff {
+		tracer = obs.NewTracer(obs.TracerOptions{
+			Policy:     policy,
+			SlowerThan: *traceSlow,
+			Capacity:   *traceBuffer,
+		})
 	}
 	src, err := os.ReadFile(*specPath)
 	if err != nil {
@@ -91,6 +110,7 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 	var c *server.Coordinator
 	if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsync)
@@ -142,6 +162,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		Metrics:        metrics,
 		Logger:         logger,
+		Tracer:         tracer,
 	})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
@@ -150,7 +171,7 @@ func main() {
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
-		debugSrv = &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(reg)}
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(reg, tracer)}
 		go func() {
 			logger.Info("debug listener up", "addr", *debugAddr)
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -7,13 +7,16 @@
 // Usage:
 //
 //	wfsynth -spec workflow.wf -peer sue -h 3 [-pool 2] [-tuples 1] [-parallel N] [-force]
+//	        [-log-level warn] [-log-format auto|text|json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"collabwf/internal/obs"
 	"collabwf/internal/parse"
 	"collabwf/internal/schema"
 	"collabwf/internal/synth"
@@ -28,12 +31,17 @@ func main() {
 	tuples := flag.Int("tuples", 1, "max tuples per relation in enumerated instances")
 	parallel := flag.Int("parallel", 0, "worker-pool width for the decider searches (0 = GOMAXPROCS)")
 	force := flag.Bool("force", false, "synthesize even if transparency fails")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine, "warn")
 	flag.Parse()
 
 	if *specPath == "" || *peer == "" {
 		fmt.Fprintln(os.Stderr, "wfsynth: -spec and -peer are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	logger, err := logFlags.NewLogger(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(*specPath)
 	if err != nil {
@@ -47,9 +55,12 @@ func main() {
 	if !spec.Program.Schema.HasPeer(p) {
 		fatal(fmt.Errorf("unknown peer %s", p))
 	}
+	logger.Debug("spec loaded", "workflow", spec.Name, "rules", len(spec.Program.Rules()), "peers", len(spec.Program.Peers()))
 	opts := transparency.Options{PoolFresh: *pool, MaxTuplesPerRelation: *tuples, Parallelism: *parallel}
 
+	start := time.Now()
 	bv, err := transparency.CheckBounded(spec.Program, p, *h, opts)
+	logger.Debug("boundedness decided", "peer", p, "h", *h, "duration", time.Since(start))
 	if err != nil {
 		fatal(err)
 	}
@@ -62,7 +73,9 @@ func main() {
 		fmt.Printf("%d-bounded for %s ✓\n", *h, p)
 	}
 
+	start = time.Now()
 	tv, err := transparency.CheckTransparent(spec.Program, p, *h, opts)
+	logger.Debug("transparency decided", "peer", p, "h", *h, "duration", time.Since(start))
 	if err != nil {
 		fatal(err)
 	}

@@ -49,7 +49,7 @@ func E1MinimumScenario(quick bool) (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		min, err := scenario.Minimum(r, "p", scenario.Options{MaxChoice: 40, MaxChecks: 1 << 26, Parallelism: Parallelism, Stats: &SuiteScenario})
+		min, err := scenario.MinimumCtx(Ctx(), r, "p", scenario.Options{MaxChoice: 40, MaxChecks: 1 << 26, Parallelism: Parallelism, Stats: &SuiteScenario})
 		if err != nil {
 			return nil, err
 		}

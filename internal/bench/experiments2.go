@@ -23,7 +23,7 @@ import (
 type schemaOpts = transparency.Options
 
 func checkBounded(p *program.Program, peer schema.Peer, h int, opts schemaOpts) (*transparency.BoundViolation, error) {
-	return transparency.CheckBounded(p, peer, h, withPar(opts))
+	return transparency.CheckBoundedCtx(Ctx(), p, peer, h, withPar(opts))
 }
 
 // E7Transparency — Theorem 5.11 and Example 5.7: transparency is decidable
@@ -66,13 +66,13 @@ func E7Transparency(quick bool) (*Table, error) {
 	}
 	for _, c := range cases {
 		start := time.Now()
-		v, err := transparency.CheckTransparent(c.prog, "sue", c.h, withPar(c.opts))
+		v, err := transparency.CheckTransparentCtx(Ctx(), c.prog, "sue", c.h, withPar(c.opts))
 		if err != nil {
 			return nil, fmt.Errorf("E7 %s: %w", c.name, err)
 		}
 		// Chain's peer is "p", not "sue" — rerun for it.
 		if c.name == "chain(2)" {
-			v, err = transparency.CheckTransparent(c.prog, "p", c.h, withPar(c.opts))
+			v, err = transparency.CheckTransparentCtx(Ctx(), c.prog, "p", c.h, withPar(c.opts))
 			if err != nil {
 				return nil, err
 			}
@@ -178,7 +178,7 @@ func E9AcyclicBound(quick bool) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		trueBound, ok, err := transparency.Bound(p, "p", d+1, withPar(schemaOpts{PoolFresh: 1, MaxTuplesPerRelation: 1}))
+		trueBound, ok, err := transparency.BoundCtx(Ctx(), p, "p", d+1, withPar(schemaOpts{PoolFresh: 1, MaxTuplesPerRelation: 1}))
 		if err != nil {
 			return nil, err
 		}

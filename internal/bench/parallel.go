@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,24 @@ import (
 	"collabwf/internal/transparency"
 	"collabwf/internal/workload"
 )
+
+// benchCtx is the context the experiments run under. wfbench installs a
+// tracer-carrying context via SetContext (for -trace-out); Report.Measure
+// swaps in a per-experiment span around each run. The experiments run
+// sequentially, so a plain package variable is safe.
+var benchCtx = context.Background()
+
+// SetContext installs the base context for subsequent experiment runs.
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	benchCtx = ctx
+}
+
+// Ctx returns the context experiments should pass to the Ctx-variant
+// deciders, so their per-phase spans land in the harness trace.
+func Ctx() context.Context { return benchCtx }
 
 // Parallelism is the worker-pool width the experiments pass to the
 // parallel searches (the transparency deciders and scenario.Minimum).
@@ -61,7 +80,7 @@ func E15ParallelSearch(quick bool) (*Table, error) {
 		o.Parallelism = w
 		o.Stats = &stats
 		start := time.Now()
-		v, err := transparency.CheckTransparent(prog, "sue", h, o)
+		v, err := transparency.CheckTransparentCtx(Ctx(), prog, "sue", h, o)
 		if err != nil {
 			return nil, fmt.Errorf("E15 workers=%d: %w", w, err)
 		}

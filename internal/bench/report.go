@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"collabwf/internal/obs"
 	"collabwf/internal/scenario"
 	"collabwf/internal/transparency"
 )
@@ -64,13 +65,22 @@ func NewReport(quick bool) *Report {
 }
 
 // Measure runs one experiment, records its result in the report, and
-// returns the table (nil on failure) for rendering.
+// returns the table (nil on failure) for rendering. When a tracer was
+// installed via SetContext, the whole run becomes one root span
+// ("experiment <ID>") whose children are the deciders' per-phase spans.
 func (r *Report) Measure(e Experiment, quick bool) (*Table, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	base := benchCtx
+	ctx, sp := obs.StartSpan(base, "experiment "+e.ID)
+	sp.SetAttr("quick", quick)
+	benchCtx = ctx
 	start := time.Now()
 	tbl, err := e.Run(quick)
 	wall := time.Since(start)
+	benchCtx = base
+	sp.SetError(err)
+	sp.End()
 	runtime.ReadMemStats(&after)
 	res := Result{
 		ID:         e.ID,

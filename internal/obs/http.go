@@ -16,9 +16,10 @@ func MetricsHandler(r *Registry) http.Handler {
 
 // DebugMux builds the debug endpoint surface served behind wfserve's
 // -debug-addr: /metrics, the full net/http/pprof suite under /debug/pprof/,
-// and any extra handlers the caller registers afterwards. It is a separate
-// mux so profiling endpoints never ride on the public API listener.
-func DebugMux(r *Registry) *http.ServeMux {
+// the flight recorder at /debug/traces (when a tracer is wired), and any
+// extra handlers the caller registers afterwards. It is a separate mux so
+// profiling and trace endpoints never ride on the public API listener.
+func DebugMux(r *Registry, t *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(r))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -26,5 +27,8 @@ func DebugMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if t != nil {
+		mux.Handle("/debug/traces", TracesHandler(t))
+	}
 	return mux
 }

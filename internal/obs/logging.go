@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"log/slog"
@@ -71,7 +72,56 @@ func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("obs: unknown log format %q (want auto, text or json)", format)
 	}
-	return slog.New(h), nil
+	// Every logger is trace-aware: records emitted through the *Context
+	// slog methods carry the active span's trace_id/span_id, correlating
+	// log lines with flight-recorder traces at no cost when no span is set.
+	return slog.New(traceHandler{h}), nil
+}
+
+// traceHandler decorates records with the trace and span ids of the span
+// active in the record's context, if any.
+type traceHandler struct{ slog.Handler }
+
+func (h traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := SpanFrom(ctx); sp != nil {
+		rec.AddAttrs(slog.String("trace_id", sp.TraceID()), slog.String("span_id", sp.SpanID()))
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{h.Handler.WithGroup(name)}
+}
+
+// LogFlags carries the values of the shared -log-level / -log-format
+// command-line flags; see RegisterLogFlags.
+type LogFlags struct {
+	Level  string
+	Format string
+}
+
+// RegisterLogFlags installs the standard -log-level and -log-format flags
+// on fs, so every command (wfserve, wfrun, wfexplain, wfsynth) exposes the
+// same logging knobs with the same help text. defaultLevel is the level
+// when the flag is absent ("" means "info"); servers want "info",
+// interactive tools "warn".
+func RegisterLogFlags(fs *flag.FlagSet, defaultLevel string) *LogFlags {
+	if defaultLevel == "" {
+		defaultLevel = "info"
+	}
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Level, "log-level", defaultLevel, "log level: debug, info, warn or error")
+	fs.StringVar(&lf.Format, "log-format", FormatAuto, "log format: auto (text on a TTY, else JSON), text or json")
+	return lf
+}
+
+// NewLogger builds the logger configured by the parsed flags, writing to w.
+func (lf *LogFlags) NewLogger(w io.Writer) (*slog.Logger, error) {
+	return NewLogger(w, lf.Level, lf.Format)
 }
 
 // Sub derives a per-subsystem logger: every record carries a "subsystem"

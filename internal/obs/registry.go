@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // MetricType classifies a family for exposition.
@@ -113,10 +114,23 @@ type Histogram struct {
 	countAndHotIdx atomic.Uint64
 	banks          [2]histBank
 
+	// exemplars holds the latest traced observation per bucket (last slot
+	// is the +Inf bucket); last-writer-wins, read at snapshot time.
+	exemplars []atomic.Pointer[Exemplar]
+
 	mu        sync.Mutex // serializes snapshots
 	harvested uint64     // observations folded into cum* so far
 	cumCounts []uint64
 	cumSum    float64
+}
+
+// Exemplar ties one concrete observation — and the trace it came from — to
+// a histogram bucket, so a latency spike on a dashboard links directly to a
+// retained trace in the flight recorder.
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"time"`
 }
 
 type histBank struct {
@@ -133,7 +147,8 @@ func newHistogram(buckets []float64) *Histogram {
 	}
 	upper := append([]float64(nil), buckets...)
 	sort.Float64s(upper)
-	h := &Histogram{upper: upper, cumCounts: make([]uint64, len(upper)+1)}
+	h := &Histogram{upper: upper, cumCounts: make([]uint64, len(upper)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(upper)+1)}
 	for b := range h.banks {
 		h.banks[b].counts = make([]atomic.Uint64, len(upper)+1)
 	}
@@ -155,6 +170,18 @@ func (h *Histogram) Observe(v float64) {
 	b.finished.Add(1)
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty, stamps
+// the matched bucket's exemplar with it. With an empty traceID it is
+// exactly Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+}
+
 // HistogramSnapshot is a consistent point-in-time view of a histogram.
 type HistogramSnapshot struct {
 	Count uint64  `json:"count"`
@@ -162,12 +189,18 @@ type HistogramSnapshot struct {
 	// Buckets holds the cumulative count of observations ≤ each upper
 	// bound, in bound order; the implicit +Inf bucket equals Count.
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// InfExemplar is the latest traced observation that landed above the
+	// highest explicit bound (the +Inf bucket), if any.
+	InfExemplar *Exemplar `json:"inf_exemplar,omitempty"`
 }
 
 // BucketCount is one cumulative ≤-bound entry.
 type BucketCount struct {
 	Le    float64 `json:"le"`
 	Count uint64  `json:"count"`
+	// Exemplar is the latest traced observation that landed in this bucket
+	// (non-cumulative), if any.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot returns a consistent (count, sum, buckets) triple.
@@ -195,8 +228,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	cum := uint64(0)
 	for i, ub := range h.upper {
 		cum += h.cumCounts[i]
-		snap.Buckets = append(snap.Buckets, BucketCount{Le: ub, Count: cum})
+		snap.Buckets = append(snap.Buckets, BucketCount{Le: ub, Count: cum, Exemplar: h.exemplars[i].Load()})
 	}
+	snap.InfExemplar = h.exemplars[len(h.upper)].Load()
 	return snap
 }
 
@@ -247,6 +281,19 @@ func (f *family) get(values []string) any {
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+
+	hookMu sync.Mutex
+	hooks  []func()
+}
+
+// OnGather registers a hook that runs at the start of every Gather (and
+// hence every /metrics scrape), before families are snapshotted. Hooks pull
+// lazily sampled values — runtime memory stats, uptime — into the registry
+// only when someone is actually reading it.
+func (r *Registry) OnGather(fn func()) {
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
 }
 
 // NewRegistry returns an empty registry.
@@ -385,6 +432,13 @@ type FamilySnapshot struct {
 // values). Counters and gauges are individually atomic; histograms are
 // snapshot-consistent (see Histogram.Snapshot).
 func (r *Registry) Gather() []FamilySnapshot {
+	r.hookMu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	r.mu.RLock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
@@ -444,11 +498,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				continue
 			}
 			for _, b := range s.Hist.Buckets {
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, labelString(s.Labels, "le", b.Le), b.Count); err != nil {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.Name, labelString(s.Labels, "le", b.Le), b.Count, exemplarSuffix(b.Exemplar)); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, labelString(s.Labels, "le", math.Inf(1)), s.Hist.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.Name, labelString(s.Labels, "le", math.Inf(1)), s.Hist.Count, exemplarSuffix(s.Hist.InfExemplar)); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
@@ -489,6 +543,18 @@ func labelString(labels []Label, extraName string, extra float64) string {
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// exemplarSuffix renders an OpenMetrics-style exemplar annotation
+// (" # {trace_id=\"…\"} value timestamp") for a bucket line, or "" when the
+// bucket has none — so exposition without exemplars stays byte-identical to
+// the plain text format.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %s", e.TraceID, formatFloat(e.Value),
+		strconv.FormatFloat(float64(e.Time.UnixNano())/1e9, 'f', 3, 64))
 }
 
 func formatFloat(v float64) string {

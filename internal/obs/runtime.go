@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntimeMetrics adds Go runtime gauges and counters to the
+// registry, refreshed by a gather hook at scrape time:
+//
+//	wf_go_goroutines            current goroutine count
+//	wf_go_heap_alloc_bytes      live heap bytes (runtime.MemStats.HeapAlloc)
+//	wf_go_heap_sys_bytes        heap bytes obtained from the OS
+//	wf_go_gc_cycles_total       completed GC cycles
+//	wf_go_gc_pause_ns_total     cumulative stop-the-world pause time
+//	wf_process_uptime_seconds   seconds since this call (process start)
+//
+// /metrics becomes self-describing about the process without pprof.
+// Registering twice on the same registry is harmless (families are
+// get-or-create) but doubles the hook; call it once per process.
+func RegisterRuntimeMetrics(r *Registry) {
+	goroutines := r.Gauge("wf_go_goroutines", "Current number of goroutines.")
+	heapAlloc := r.Gauge("wf_go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapSys := r.Gauge("wf_go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.")
+	gcCycles := r.Counter("wf_go_gc_cycles_total", "Completed GC cycles.")
+	gcPause := r.Counter("wf_go_gc_pause_ns_total", "Cumulative GC stop-the-world pause time in nanoseconds.")
+	uptime := r.Gauge("wf_process_uptime_seconds", "Seconds since process start.")
+
+	start := time.Now()
+	// Counters are monotonic deltas over MemStats' cumulative totals; the
+	// previous sample lives in the closure. The mutex serializes concurrent
+	// scrapes (Gather runs hooks outside the registry lock).
+	var mu sync.Mutex
+	var lastCycles uint32
+	var lastPause uint64
+	r.OnGather(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		gcCycles.Add(int64(ms.NumGC - lastCycles))
+		lastCycles = ms.NumGC
+		gcPause.Add(int64(ms.PauseTotalNs - lastPause))
+		lastPause = ms.PauseTotalNs
+		uptime.Set(time.Since(start).Seconds())
+	})
+}

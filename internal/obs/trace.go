@@ -1,0 +1,464 @@
+// Span tracing: the request-scoped counterpart of the metrics registry. A
+// Tracer hands out spans — named, timed, attributed, parent-linked — that
+// assemble into one trace per request (or per decider search), and retains
+// the last N completed traces in a ring-buffer flight recorder under a
+// sampling policy (always / on-error / slower-than-threshold). A trace of a
+// Certify call is the runtime analogue of the paper's scenario explanations:
+// it shows *which* phases of the search ran, how long they took, and how
+// much work (nodes, cache hits) each did, for exactly one invocation.
+//
+// The tracer is dependency-free and context-propagated: StartSpan reads the
+// tracer and the current span from the context, so an uninstrumented call
+// path (no tracer in the context, or SampleOff) costs two context lookups
+// and allocates nothing. Trace identity crosses process boundaries through
+// the W3C `traceparent` header (ParseTraceparent / InjectTraceparent).
+package obs
+
+import (
+	crand "crypto/rand"
+	"context"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SamplePolicy selects which completed traces the flight recorder retains.
+type SamplePolicy string
+
+const (
+	// SampleAlways retains every completed trace (bounded by Capacity).
+	SampleAlways SamplePolicy = "always"
+	// SampleOnError retains only traces in which some span recorded an
+	// error.
+	SampleOnError SamplePolicy = "error"
+	// SampleSlow retains only traces whose root span ran at least
+	// TracerOptions.SlowerThan.
+	SampleSlow SamplePolicy = "slow"
+	// SampleOff disables tracing entirely: StartSpan returns a nil span and
+	// records nothing.
+	SampleOff SamplePolicy = "off"
+)
+
+// ParseSamplePolicy converts a -trace-sample flag value into a policy.
+func ParseSamplePolicy(s string) (SamplePolicy, error) {
+	switch SamplePolicy(s) {
+	case SampleAlways, SampleOnError, SampleSlow, SampleOff:
+		return SamplePolicy(s), nil
+	case "":
+		return SampleAlways, nil
+	}
+	return "", fmt.Errorf("obs: unknown sampling policy %q (want always, error, slow or off)", s)
+}
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// Policy is the retention policy; empty means SampleAlways.
+	Policy SamplePolicy
+	// SlowerThan is the root-span duration threshold under SampleSlow;
+	// zero means 100ms.
+	SlowerThan time.Duration
+	// Capacity is the number of completed traces the flight recorder
+	// retains; zero means 128.
+	Capacity int
+	// MaxSpans caps the spans recorded per trace (excess spans are counted,
+	// not stored); zero means 512.
+	MaxSpans int
+}
+
+// Tracer assembles spans into traces and retains completed ones in a ring
+// buffer. Safe for concurrent use.
+type Tracer struct {
+	opts TracerOptions
+
+	started   atomic.Int64 // root spans begun
+	retained  atomic.Int64 // traces kept by the policy
+	discarded atomic.Int64 // traces completed but not kept
+
+	mu   sync.Mutex
+	ring []*TraceData // completed traces, oldest first; len ≤ Capacity
+}
+
+// NewTracer returns a tracer with the given options.
+func NewTracer(o TracerOptions) *Tracer {
+	if o.Policy == "" {
+		o.Policy = SampleAlways
+	}
+	if o.SlowerThan <= 0 {
+		o.SlowerThan = 100 * time.Millisecond
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 128
+	}
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = 512
+	}
+	return &Tracer{opts: o}
+}
+
+// Policy returns the tracer's retention policy.
+func (t *Tracer) Policy() SamplePolicy { return t.opts.Policy }
+
+// TracerStats is a point-in-time summary of the flight recorder.
+type TracerStats struct {
+	Policy    SamplePolicy `json:"policy"`
+	Capacity  int          `json:"capacity"`
+	Started   int64        `json:"started"`
+	Retained  int64        `json:"retained"`
+	Discarded int64        `json:"discarded"`
+}
+
+// Stats reports the recorder counters.
+func (t *Tracer) Stats() TracerStats {
+	return TracerStats{
+		Policy:    t.opts.Policy,
+		Capacity:  t.opts.Capacity,
+		Started:   t.started.Load(),
+		Retained:  t.retained.Load(),
+		Discarded: t.discarded.Load(),
+	}
+}
+
+// Traces returns the retained traces, newest first.
+func (t *Tracer) Traces() []*TraceData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*TraceData, 0, len(t.ring))
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		out = append(out, t.ring[i])
+	}
+	return out
+}
+
+// Trace returns the retained trace with the given hex id, or nil.
+func (t *Tracer) Trace(id string) *TraceData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		if t.ring[i].TraceID == id {
+			return t.ring[i]
+		}
+	}
+	return nil
+}
+
+// complete applies the retention policy to a finished trace.
+func (t *Tracer) complete(td *TraceData) {
+	keep := false
+	switch t.opts.Policy {
+	case SampleAlways:
+		keep = true
+	case SampleOnError:
+		keep = td.Error
+	case SampleSlow:
+		keep = td.DurationNS >= t.opts.SlowerThan.Nanoseconds()
+	}
+	if !keep {
+		t.discarded.Add(1)
+		return
+	}
+	t.retained.Add(1)
+	t.mu.Lock()
+	t.ring = append(t.ring, td)
+	if len(t.ring) > t.opts.Capacity {
+		// Drop the oldest; shift-by-one keeps the code simple and the
+		// capacity is small.
+		copy(t.ring, t.ring[1:])
+		t.ring = t.ring[:len(t.ring)-1]
+	}
+	t.mu.Unlock()
+}
+
+// SpanData is the recorded form of one span. TraceID and SpanID are
+// lowercase hex (16 and 8 bytes); ParentID is empty on a local root span and
+// the remote parent's span id when the trace was joined via traceparent.
+type SpanData struct {
+	TraceID    string         `json:"trace_id"`
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Error      string         `json:"error,omitempty"`
+	// Unfinished marks a span that had not ended when its trace completed.
+	Unfinished bool `json:"unfinished,omitempty"`
+}
+
+// TraceData is one completed trace: the root span's identity plus every
+// recorded span (root first, then in start order of recording).
+type TraceData struct {
+	TraceID      string      `json:"trace_id"`
+	Root         string      `json:"root"`
+	Start        time.Time   `json:"start"`
+	DurationNS   int64       `json:"duration_ns"`
+	Error        bool        `json:"error"`
+	DroppedSpans int         `json:"dropped_spans,omitempty"`
+	Spans        []*SpanData `json:"spans"`
+}
+
+// activeTrace accumulates the spans of one in-flight trace.
+type activeTrace struct {
+	tracer *Tracer
+	mu     sync.Mutex
+	spans  []*spanState
+	drop   int
+	errs   int
+}
+
+type spanState struct {
+	data  SpanData
+	attrs map[string]any
+	ended bool
+}
+
+func (at *activeTrace) add(s *spanState) bool {
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	if len(at.spans) >= at.tracer.opts.MaxSpans {
+		at.drop++
+		return false
+	}
+	at.spans = append(at.spans, s)
+	return true
+}
+
+// finish snapshots the active trace into an immutable TraceData and hands
+// it to the tracer. Called once, when the root span ends.
+func (at *activeTrace) finish(root *spanState) {
+	at.mu.Lock()
+	td := &TraceData{
+		TraceID:      root.data.TraceID,
+		Root:         root.data.Name,
+		Start:        root.data.Start,
+		DurationNS:   root.data.DurationNS,
+		Error:        at.errs > 0,
+		DroppedSpans: at.drop,
+		Spans:        make([]*SpanData, 0, len(at.spans)),
+	}
+	for _, s := range at.spans {
+		d := s.data // copy; the span owner must not mutate after trace end
+		if len(s.attrs) > 0 {
+			d.Attrs = make(map[string]any, len(s.attrs))
+			for k, v := range s.attrs {
+				d.Attrs[k] = v
+			}
+		}
+		d.Unfinished = !s.ended
+		td.Spans = append(td.Spans, &d)
+	}
+	at.mu.Unlock()
+	at.tracer.complete(td)
+}
+
+// Span is one timed, named unit of work inside a trace. A nil *Span is a
+// valid no-op (the uninstrumented fast path), so callers never need to
+// nil-check. A span is owned by the goroutine that started it: SetAttr,
+// SetError and End must not race with each other.
+type Span struct {
+	at       *activeTrace
+	st       *spanState
+	recorded bool // false when the trace hit MaxSpans: keep timing, skip retention
+	root     bool
+}
+
+// TraceID returns the span's hex trace id ("" on a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.st.data.TraceID
+}
+
+// SpanID returns the span's hex span id ("" on a nil span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.st.data.SpanID
+}
+
+// SetAttr attaches a key/value attribute (JSON-encodable values).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.st.attrs == nil {
+		s.st.attrs = make(map[string]any, 4)
+	}
+	s.st.attrs[key] = value
+}
+
+// SetError marks the span (and hence its trace) as failed.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.st.data.Error = err.Error()
+	s.at.mu.Lock()
+	s.at.errs++
+	s.at.mu.Unlock()
+}
+
+// End stamps the span's duration; ending the root span completes the trace
+// and submits it to the flight recorder. End is idempotent.
+func (s *Span) End() {
+	if s == nil || s.st.ended {
+		return
+	}
+	s.st.data.DurationNS = time.Since(s.st.data.Start).Nanoseconds()
+	s.st.ended = true
+	if s.root {
+		s.at.finish(s.st)
+	}
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+type remoteKey struct{}
+
+type remoteParent struct{ traceID, spanID string }
+
+// ContextWithTracer returns a context whose spans record into t.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// ContextWithRemoteParent records an extracted traceparent so the next root
+// span joins the remote trace instead of starting a fresh one.
+func ContextWithRemoteParent(ctx context.Context, traceID, spanID string) context.Context {
+	return context.WithValue(ctx, remoteKey{}, remoteParent{traceID, spanID})
+}
+
+// StartSpan begins a span named name. If the context carries a span, the
+// new span is its child in the same trace; otherwise, if it carries a
+// tracer (and sampling is not off), a new root span — and with it a new
+// trace — begins. The returned context carries the new span; the returned
+// span is nil (a no-op) when tracing is not active.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := SpanFrom(ctx); parent != nil && !parent.st.ended {
+		st := &spanState{data: SpanData{
+			TraceID:  parent.st.data.TraceID,
+			SpanID:   newSpanID(),
+			ParentID: parent.st.data.SpanID,
+			Name:     name,
+			Start:    time.Now(),
+		}}
+		sp := &Span{at: parent.at, st: st, recorded: parent.at.add(st)}
+		return context.WithValue(ctx, spanKey{}, sp), sp
+	}
+	t := TracerFrom(ctx)
+	if t == nil || t.opts.Policy == SampleOff {
+		return ctx, nil
+	}
+	traceID := newTraceID()
+	parentID := ""
+	if rp, ok := ctx.Value(remoteKey{}).(remoteParent); ok {
+		traceID = rp.traceID
+		parentID = rp.spanID
+	}
+	at := &activeTrace{tracer: t}
+	st := &spanState{data: SpanData{
+		TraceID:  traceID,
+		SpanID:   newSpanID(),
+		ParentID: parentID,
+		Name:     name,
+		Start:    time.Now(),
+	}}
+	at.add(st)
+	t.started.Add(1)
+	sp := &Span{at: at, st: st, recorded: true, root: true}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// newTraceID returns 16 random bytes in lowercase hex.
+func newTraceID() string { return randHex(16) }
+
+// newSpanID returns 8 random bytes in lowercase hex.
+func newSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := crand.Read(b); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a non-zero
+		// constant rather than panicking in an observability layer.
+		for i := range b {
+			b[i] = byte(i + 1)
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// ParseTraceparent extracts the trace and parent span ids from a W3C
+// traceparent header (version 00: "00-<32 hex>-<16 hex>-<2 hex flags>").
+// Invalid or all-zero ids are rejected.
+func ParseTraceparent(h string) (traceID, spanID string, ok bool) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	if h[0] != '0' || h[1] != '0' {
+		return "", "", false // unknown version
+	}
+	traceID, spanID = h[3:35], h[36:52]
+	if !isHex(traceID) || !isHex(spanID) || !isHex(h[53:55]) {
+		return "", "", false
+	}
+	if allZero(traceID) || allZero(spanID) {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+// Traceparent renders the context's current span as a traceparent header
+// value ("" when no span is active).
+func Traceparent(ctx context.Context) string {
+	sp := SpanFrom(ctx)
+	if sp == nil {
+		return ""
+	}
+	return "00-" + sp.TraceID() + "-" + sp.SpanID() + "-01"
+}
+
+// InjectTraceparent sets the traceparent header from the context's current
+// span, for outbound requests that should join this trace.
+func InjectTraceparent(ctx context.Context, h http.Header) {
+	if tp := Traceparent(ctx); tp != "" {
+		h.Set("traceparent", tp)
+	}
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,546 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAssembly(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "http /submit")
+	if root == nil {
+		t.Fatal("expected a live root span")
+	}
+	root.SetAttr("method", "POST")
+	cctx, child := StartSpan(ctx, "coordinator.submit")
+	child.SetAttr("rule", "clear")
+	_, grand := StartSpan(cctx, "wal.append")
+	grand.End()
+	child.End()
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	td := traces[0]
+	if td.Root != "http /submit" {
+		t.Errorf("root = %q", td.Root)
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(td.Spans))
+	}
+	if td.Error {
+		t.Error("trace marked as error without any SetError")
+	}
+	byName := map[string]*SpanData{}
+	for _, sp := range td.Spans {
+		if sp.TraceID != td.TraceID {
+			t.Errorf("span %s has trace id %s, want %s", sp.Name, sp.TraceID, td.TraceID)
+		}
+		if sp.Unfinished {
+			t.Errorf("span %s marked unfinished", sp.Name)
+		}
+		byName[sp.Name] = sp
+	}
+	if byName["http /submit"].ParentID != "" {
+		t.Error("root span has a parent")
+	}
+	if byName["coordinator.submit"].ParentID != byName["http /submit"].SpanID {
+		t.Error("coordinator.submit is not a child of the root")
+	}
+	if byName["wal.append"].ParentID != byName["coordinator.submit"].SpanID {
+		t.Error("wal.append is not a child of coordinator.submit")
+	}
+	if got := byName["coordinator.submit"].Attrs["rule"]; got != "clear" {
+		t.Errorf("rule attr = %v", got)
+	}
+	if tr.Trace(td.TraceID) == nil {
+		t.Error("Trace(id) lookup failed")
+	}
+	if tr.Trace("deadbeef") != nil {
+		t.Error("Trace of unknown id should be nil")
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	// No tracer in the context: everything is a no-op.
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("expected nil span without a tracer")
+	}
+	sp.SetAttr("k", 1)
+	sp.SetError(errors.New("boom"))
+	sp.End()
+	sp.End()
+	if sp.TraceID() != "" || sp.SpanID() != "" {
+		t.Error("nil span ids should be empty")
+	}
+	if Traceparent(ctx) != "" {
+		t.Error("Traceparent without a span should be empty")
+	}
+}
+
+func TestSampleOffDisablesTracing(t *testing.T) {
+	tr := NewTracer(TracerOptions{Policy: SampleOff})
+	ctx := ContextWithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "root")
+	if sp != nil {
+		t.Fatal("SampleOff should yield a nil span")
+	}
+	if st := tr.Stats(); st.Started != 0 {
+		t.Errorf("started = %d, want 0", st.Started)
+	}
+}
+
+func TestSampleOnErrorRetainsOnlyFailures(t *testing.T) {
+	tr := NewTracer(TracerOptions{Policy: SampleOnError})
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	_, ok := StartSpan(ctx, "fine")
+	ok.End()
+	c2, bad := StartSpan(ctx, "broken")
+	_, child := StartSpan(c2, "inner")
+	child.SetError(errors.New("guard violated"))
+	child.End()
+	bad.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 || traces[0].Root != "broken" {
+		t.Fatalf("retained %v, want just the failed trace", traces)
+	}
+	if !traces[0].Error {
+		t.Error("retained trace should be marked as error")
+	}
+	st := tr.Stats()
+	if st.Started != 2 || st.Retained != 1 || st.Discarded != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSampleSlowThreshold(t *testing.T) {
+	tr := NewTracer(TracerOptions{Policy: SampleSlow, SlowerThan: 20 * time.Millisecond})
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	_, fast := StartSpan(ctx, "fast")
+	fast.End()
+	_, slow := StartSpan(ctx, "slow")
+	time.Sleep(25 * time.Millisecond)
+	slow.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 || traces[0].Root != "slow" {
+		t.Fatalf("retained %d traces, want just the slow one", len(traces))
+	}
+}
+
+func TestRingBufferEviction(t *testing.T) {
+	tr := NewTracer(TracerOptions{Capacity: 3})
+	ctx := ContextWithTracer(context.Background(), tr)
+	names := []string{"a", "b", "c", "d", "e"}
+	for _, n := range names {
+		_, sp := StartSpan(ctx, n)
+		sp.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(traces))
+	}
+	// Newest first: e, d, c. a and b were evicted.
+	for i, want := range []string{"e", "d", "c"} {
+		if traces[i].Root != want {
+			t.Errorf("traces[%d].Root = %q, want %q", i, traces[i].Root, want)
+		}
+	}
+}
+
+func TestMaxSpansCapCountsDrops(t *testing.T) {
+	tr := NewTracer(TracerOptions{MaxSpans: 2})
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	for i := 0; i < 4; i++ {
+		_, sp := StartSpan(ctx, "child")
+		sp.SetAttr("i", i) // must not panic even when dropped
+		sp.End()
+	}
+	root.End()
+	td := tr.Traces()[0]
+	if len(td.Spans) != 2 {
+		t.Errorf("recorded %d spans, want 2", len(td.Spans))
+	}
+	if td.DroppedSpans != 3 {
+		t.Errorf("dropped = %d, want 3", td.DroppedSpans)
+	}
+}
+
+func TestUnfinishedSpansFlagged(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	_, leaked := StartSpan(ctx, "leaked")
+	_ = leaked // never ended
+	root.End()
+	td := tr.Traces()[0]
+	var found bool
+	for _, sp := range td.Spans {
+		if sp.Name == "leaked" {
+			found = true
+			if !sp.Unfinished {
+				t.Error("leaked span not flagged unfinished")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("leaked span not recorded")
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	tid, sid, ok := ParseTraceparent(valid)
+	if !ok || tid != "0123456789abcdef0123456789abcdef" || sid != "0123456789abcdef" {
+		t.Fatalf("valid header rejected: %q %q %v", tid, sid, ok)
+	}
+	bad := []string{
+		"",
+		"00-short-0123456789abcdef-01",
+		"ff-0123456789abcdef0123456789abcdef-0123456789abcdef-01", // unknown version
+		"00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace id
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span id
+		"00-0123456789ABCDEF0123456789abcdef-0123456789abcdef-01", // uppercase hex
+		"00_0123456789abcdef0123456789abcdef-0123456789abcdef-01", // wrong separator
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-zz", // non-hex flags
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("accepted invalid traceparent %q", h)
+		}
+	}
+}
+
+func TestTraceparentRoundTripAndRemoteParent(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, sp := StartSpan(ctx, "client")
+	hdr := http.Header{}
+	InjectTraceparent(ctx, hdr)
+	got := hdr.Get("traceparent")
+	tid, sid, ok := ParseTraceparent(got)
+	if !ok || tid != sp.TraceID() || sid != sp.SpanID() {
+		t.Fatalf("round trip failed: header %q, span %s/%s", got, sp.TraceID(), sp.SpanID())
+	}
+	sp.End()
+
+	// A root span started under a remote parent joins the remote trace.
+	sctx := ContextWithTracer(context.Background(), tr)
+	sctx = ContextWithRemoteParent(sctx, tid, sid)
+	_, srv := StartSpan(sctx, "server")
+	if srv.TraceID() != tid {
+		t.Errorf("server trace id = %s, want remote %s", srv.TraceID(), tid)
+	}
+	srv.End()
+	td := tr.Trace(tid)
+	if td == nil {
+		t.Fatal("joined trace not retained")
+	}
+	if td.Spans[0].ParentID != sid {
+		t.Errorf("server root parent = %q, want remote span %s", td.Spans[0].ParentID, sid)
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "http /certify")
+	_, child := StartSpan(ctx, "server.certify")
+	child.SetAttr("nodes", 42)
+	child.End()
+	root.End()
+	id := tr.Traces()[0].TraceID
+
+	h := TracesHandler(tr)
+
+	// List view.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list status %d", rec.Code)
+	}
+	var list struct {
+		Stats  TracerStats `json:"stats"`
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Root    string `json:"root"`
+			Spans   int    `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list not JSON: %v", err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].TraceID != id || list.Traces[0].Spans != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+	if list.Stats.Retained != 1 {
+		t.Errorf("stats.retained = %d", list.Stats.Retained)
+	}
+
+	// Per-trace view.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id="+id, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detail status %d", rec.Code)
+	}
+	var td TraceData
+	if err := json.Unmarshal(rec.Body.Bytes(), &td); err != nil {
+		t.Fatalf("detail not JSON: %v", err)
+	}
+	if td.TraceID != id || len(td.Spans) != 2 {
+		t.Fatalf("detail = %+v", td)
+	}
+
+	// Unknown id is a JSON 404.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id=nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing-id status %d, want 404", rec.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+		t.Errorf("404 body should be an error object, got %q", rec.Body.String())
+	}
+}
+
+func TestDebugMuxServesTraces(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(TracerOptions{})
+	mux := DebugMux(reg, tr)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("/debug/traces status %d", rec.Code)
+	}
+	// With no tracer the route is simply absent.
+	mux = DebugMux(reg, nil)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("traces route without tracer: status %d, want 404", rec.Code)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "experiment E7")
+	_, child := StartSpan(ctx, "transparency.check_transparent")
+	child.SetAttr("nodes", int64(7))
+	child.SetError(errors.New("budget"))
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(out.TraceEvents))
+	}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 1 || ev.TID != 1 {
+			t.Errorf("event %+v", ev)
+		}
+		if ev.Args["trace_id"] == "" {
+			t.Errorf("event %s missing trace_id arg", ev.Name)
+		}
+	}
+	var decider bool
+	for _, ev := range out.TraceEvents {
+		if ev.Name == "transparency.check_transparent" {
+			decider = true
+			if ev.Args["error"] != "budget" {
+				t.Errorf("error arg = %v", ev.Args["error"])
+			}
+		}
+	}
+	if !decider {
+		t.Error("decider span missing from export")
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("wf_test_latency_seconds", "test", []float64{0.1, 1})
+	h.Observe(0.05) // no exemplar
+	h.ObserveExemplar(0.5, "cafecafecafecafecafecafecafecafe")
+	h.ObserveExemplar(0.06, "") // empty trace id records no exemplar
+
+	snap := h.Snapshot()
+	var with, without int
+	for _, b := range snap.Buckets {
+		if b.Exemplar != nil {
+			with++
+			if b.Exemplar.TraceID != "cafecafecafecafecafecafecafecafe" {
+				t.Errorf("exemplar trace id = %q", b.Exemplar.TraceID)
+			}
+			if b.Exemplar.Value != 0.5 {
+				t.Errorf("exemplar value = %v", b.Exemplar.Value)
+			}
+		} else {
+			without++
+		}
+	}
+	if with != 1 {
+		t.Fatalf("%d buckets carry exemplars, want 1", with)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `# {trace_id="cafecafecafecafecafecafecafecafe"} 0.5`) {
+		t.Errorf("exposition lacks exemplar:\n%s", text)
+	}
+	// Only one bucket line carries the exemplar suffix.
+	if n := strings.Count(text, "# {trace_id="); n != 1 {
+		t.Errorf("%d exemplar suffixes, want 1", n)
+	}
+}
+
+func TestRuntimeMetricsRegistered(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, name := range []string{
+		"wf_go_goroutines",
+		"wf_go_heap_alloc_bytes",
+		"wf_go_heap_sys_bytes",
+		"wf_go_gc_cycles_total",
+		"wf_go_gc_pause_ns_total",
+		"wf_process_uptime_seconds",
+	} {
+		if !strings.Contains(text, name+" ") {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	// Goroutine count is refreshed at gather time and must be positive.
+	for _, fam := range reg.Gather() {
+		if fam.Name == "wf_go_goroutines" {
+			if len(fam.Series) != 1 || fam.Series[0].Value <= 0 {
+				t.Errorf("wf_go_goroutines = %+v", fam.Series)
+			}
+		}
+	}
+}
+
+func TestLoggerCarriesTraceIDs(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "info", FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(TracerOptions{})
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, sp := StartSpan(ctx, "root")
+
+	logger.InfoContext(ctx, "with span", "k", "v")
+	logger.Info("without span")
+	sp.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines", len(lines))
+	}
+	var first, second map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first["trace_id"] != sp.TraceID() || first["span_id"] != sp.SpanID() {
+		t.Errorf("line 1 trace ids = %v/%v, want %s/%s", first["trace_id"], first["span_id"], sp.TraceID(), sp.SpanID())
+	}
+	if _, ok := second["trace_id"]; ok {
+		t.Error("span-less record should not carry trace_id")
+	}
+
+	// Derived loggers (With / WithGroup) stay trace-aware.
+	buf.Reset()
+	logger.With(slog.String("subsystem", "wal")).InfoContext(ctx, "derived")
+	var derived map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &derived); err != nil {
+		t.Fatal(err)
+	}
+	if derived["trace_id"] != sp.TraceID() {
+		t.Errorf("derived logger lost trace_id: %v", derived)
+	}
+}
+
+func TestRegisterLogFlags(t *testing.T) {
+	fs := flagSetForTest(t)
+	lf := RegisterLogFlags(fs, "warn")
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if lf.Level != "debug" || lf.Format != "json" {
+		t.Errorf("parsed flags = %+v", lf)
+	}
+	var buf bytes.Buffer
+	logger, err := lf.NewLogger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("visible at debug")
+	if !strings.Contains(buf.String(), "visible at debug") {
+		t.Error("debug level not honoured")
+	}
+
+	// Defaults apply when flags are absent.
+	fs2 := flagSetForTest(t)
+	lf2 := RegisterLogFlags(fs2, "warn")
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if lf2.Level != "warn" || lf2.Format != FormatAuto {
+		t.Errorf("defaults = %+v", lf2)
+	}
+	if _, err := (&LogFlags{Level: "bogus"}).NewLogger(&buf); err == nil {
+		t.Error("bogus level accepted")
+	}
+}
+
+func flagSetForTest(t *testing.T) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// TracesHandler serves the flight recorder as JSON:
+//
+//	GET /debug/traces          recorder stats + one summary line per trace
+//	GET /debug/traces?id=<id>  the full span tree of one retained trace
+//
+// Like pprof, it belongs on the -debug-addr listener, not the public API.
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if id := r.URL.Query().Get("id"); id != "" {
+			td := t.Trace(id)
+			if td == nil {
+				w.WriteHeader(http.StatusNotFound)
+				_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf("no retained trace %q", id)})
+				return
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(td)
+			return
+		}
+		type summary struct {
+			TraceID    string `json:"trace_id"`
+			Root       string `json:"root"`
+			Start      string `json:"start"`
+			DurationNS int64  `json:"duration_ns"`
+			Spans      int    `json:"spans"`
+			Error      bool   `json:"error"`
+		}
+		traces := t.Traces()
+		out := struct {
+			Stats  TracerStats `json:"stats"`
+			Traces []summary   `json:"traces"`
+		}{Stats: t.Stats(), Traces: make([]summary, 0, len(traces))}
+		for _, td := range traces {
+			out.Traces = append(out.Traces, summary{
+				TraceID:    td.TraceID,
+				Root:       td.Root,
+				Start:      td.Start.Format("2006-01-02T15:04:05.000Z07:00"),
+				DurationNS: td.DurationNS,
+				Spans:      len(td.Spans),
+				Error:      td.Error,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}
+
+// WriteChromeTrace renders traces in the Chrome trace-event JSON format
+// (load via chrome://tracing or https://ui.perfetto.dev). Each trace gets
+// its own tid so concurrent traces stack as separate rows; spans are
+// complete ("X") events with microsecond timestamps.
+func WriteChromeTrace(w io.Writer, traces []*TraceData) error {
+	type event struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	// Oldest first so the timeline reads left to right.
+	ordered := make([]*TraceData, len(traces))
+	copy(ordered, traces)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start.Before(ordered[j].Start) })
+	var events []event
+	for tid, td := range ordered {
+		for _, sp := range td.Spans {
+			args := make(map[string]any, len(sp.Attrs)+2)
+			for k, v := range sp.Attrs {
+				args[k] = v
+			}
+			args["trace_id"] = sp.TraceID
+			if sp.Error != "" {
+				args["error"] = sp.Error
+			}
+			events = append(events, event{
+				Name: sp.Name,
+				Ph:   "X",
+				TS:   float64(sp.Start.UnixNano()) / 1e3,
+				Dur:  float64(sp.DurationNS) / 1e3,
+				PID:  1,
+				TID:  tid + 1,
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

@@ -16,6 +16,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"collabwf/internal/obs"
 	"collabwf/internal/par"
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
@@ -158,9 +159,17 @@ const chunkBits = 12
 // ctx aborts the search with ctx.Err().
 func MinimumCtx(ctx context.Context, r *program.Run, p schema.Peer, opts Options) (out []int, err error) {
 	opts = opts.withDefaults()
+	ctx, sp := obs.StartSpan(ctx, "scenario.minimum")
+	sp.SetAttr("peer", string(p))
+	sp.SetAttr("run_len", r.Len())
+	defer sp.End()
 	var checks atomic.Int64
 	var njobs int
 	defer func() {
+		sp.SetAttr("checks", checks.Load())
+		sp.SetAttr("jobs", njobs)
+		sp.SetAttr("workers", par.Workers(opts.Parallelism))
+		sp.SetError(err)
 		if st := opts.Stats; st != nil {
 			st.Checks += checks.Load()
 			st.Jobs += int64(njobs)
@@ -171,6 +180,7 @@ func MinimumCtx(ctx context.Context, r *program.Run, p schema.Peer, opts Options
 		}
 	}()
 	visible, invisible := split(r, p)
+	sp.SetAttr("invisible", len(invisible))
 	if len(invisible) > opts.MaxChoice {
 		return nil, fmt.Errorf("%w: %d invisible events > MaxChoice %d", ErrBudget, len(invisible), opts.MaxChoice)
 	}

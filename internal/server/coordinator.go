@@ -22,6 +22,7 @@ import (
 	"collabwf/internal/core"
 	"collabwf/internal/data"
 	"collabwf/internal/design"
+	"collabwf/internal/obs"
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
 	"collabwf/internal/trace"
@@ -134,7 +135,7 @@ func (c *Coordinator) Guard(peer schema.Peer, h int) error {
 	// Guards are part of the durable configuration: persist them so a
 	// recovered coordinator enforces the same policy.
 	if c.log != nil {
-		if err := c.writeSnapshotLocked(); err != nil {
+		if err := c.writeSnapshotLocked(context.Background()); err != nil {
 			delete(c.guards, peer)
 			delete(c.guardMonitors, peer)
 			return fmt.Errorf("server: persisting guard: %w", err)
@@ -155,13 +156,21 @@ func (c *Coordinator) Certify(ctx context.Context, peer schema.Peer, h int, opts
 	prog := c.prog
 	m := c.metrics
 	c.mu.Unlock()
+	ctx, sp := obs.StartSpan(ctx, "server.certify")
+	sp.SetAttr("peer", string(peer))
+	sp.SetAttr("h", h)
+	defer sp.End()
 	if !prog.Schema.HasPeer(peer) {
-		return fmt.Errorf("server: unknown peer %s", peer)
+		err := fmt.Errorf("server: unknown peer %s", peer)
+		sp.SetError(err)
+		return err
 	}
-	// The registry sees the search effort of every Certify call: collect
-	// Stats (into the caller's collector when one is given) and fold the
-	// delta into the decider families afterwards.
-	if m != nil && opts.Stats == nil {
+	// The registry and the trace both see the search effort of every Certify
+	// call: collect Stats (into the caller's collector when one is given),
+	// fold the delta into the decider families afterwards, and stamp the
+	// same delta on the span. Tracing forces collection too, so a /certify
+	// trace always carries its node/cache counters.
+	if (m != nil || sp != nil) && opts.Stats == nil {
 		opts.Stats = &transparency.Stats{}
 	}
 	var before transparency.Stats
@@ -170,24 +179,38 @@ func (c *Coordinator) Certify(ctx context.Context, peer schema.Peer, h int, opts
 	}
 	defer func() {
 		if opts.Stats != nil {
-			m.foldSearch(opts.Stats.Delta(before))
+			d := opts.Stats.Delta(before)
+			m.foldSearch(d)
+			sp.SetAttr("nodes", d.Nodes)
+			sp.SetAttr("cache_hits", d.CacheHits)
+			sp.SetAttr("cache_misses", d.CacheMisses)
+			sp.SetAttr("states", d.States)
+			sp.SetAttr("workers", d.Workers)
 		}
 	}()
 	bv, err := core.CheckBoundedCtx(ctx, prog, peer, h, opts)
 	m.deciderOutcome("bounded", bv != nil, err)
 	if err != nil {
-		return fmt.Errorf("server: certifying %s: %w", peer, err)
+		err = fmt.Errorf("server: certifying %s: %w", peer, err)
+		sp.SetError(err)
+		return err
 	}
 	if bv != nil {
-		return fmt.Errorf("server: %s is not %d-bounded: %s", peer, h, bv)
+		err := fmt.Errorf("server: %s is not %d-bounded: %s", peer, h, bv)
+		sp.SetError(err)
+		return err
 	}
 	tv, err := core.CheckTransparentCtx(ctx, prog, peer, h, opts)
 	m.deciderOutcome("transparent", tv != nil, err)
 	if err != nil {
-		return fmt.Errorf("server: certifying %s: %w", peer, err)
+		err = fmt.Errorf("server: certifying %s: %w", peer, err)
+		sp.SetError(err)
+		return err
 	}
 	if tv != nil {
-		return fmt.Errorf("server: program is not transparent for %s: %s", peer, tv)
+		err := fmt.Errorf("server: program is not transparent for %s: %s", peer, tv)
+		sp.SetError(err)
+		return err
 	}
 	return nil
 }
@@ -196,56 +219,79 @@ func (c *Coordinator) Certify(ctx context.Context, peer schema.Peer, h int, opts
 // rule must belong to the submitting peer. Under guards, a violating event
 // is rejected and the run left unchanged.
 func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[string]data.Value) (*SubmitResult, error) {
+	return c.SubmitCtx(context.Background(), peer, ruleName, bindings)
+}
+
+// SubmitCtx is Submit with a caller context, so the submission joins the
+// caller's trace (HTTP request span → coordinator.submit → guard_check /
+// wal.append / notify child spans) and log lines carry its trace_id.
+func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName string, bindings map[string]data.Value) (*SubmitResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "coordinator.submit")
+	sp.SetAttr("peer", string(peer))
+	sp.SetAttr("rule", ruleName)
+	defer sp.End()
+	reject := func(err error) (*SubmitResult, error) {
+		sp.SetError(err)
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		c.metrics.rejected("closed")
-		return nil, fmt.Errorf("server: coordinator is shut down")
+		return reject(fmt.Errorf("server: coordinator is shut down"))
 	}
 	rl := c.prog.Rule(ruleName)
 	if rl == nil {
 		c.metrics.rejected("unknown_rule")
-		return nil, fmt.Errorf("server: unknown rule %s", ruleName)
+		return reject(fmt.Errorf("server: unknown rule %s", ruleName))
 	}
 	if rl.Peer != peer {
 		c.metrics.rejected("wrong_peer")
-		return nil, fmt.Errorf("server: rule %s belongs to %s, not %s", ruleName, rl.Peer, peer)
+		return reject(fmt.Errorf("server: rule %s belongs to %s, not %s", ruleName, rl.Peer, peer))
 	}
 	prevLen := c.run.Len()
 	e, err := c.run.FireRule(ruleName, bindings)
 	if err != nil {
 		c.metrics.rejected("not_applicable")
-		return nil, err
+		return reject(err)
 	}
 	// Guard check: each guard's monitor is synced incrementally (one step
 	// per event); only a rejection pays the O(run) rollback rebuild.
+	gctx, gsp := obs.StartSpan(ctx, "coordinator.guard_check")
+	gsp.SetAttr("guards", len(c.guards))
 	for _, guarded := range c.sortedGuards() {
 		m := c.guardMonitors[guarded]
 		m.Sync()
 		if vs := m.Violations(); len(vs) > 0 {
-			c.rollbackTo(prevLen)
+			reason := vs[len(vs)-1].Reason
+			gsp.SetAttr("guarded", string(guarded))
+			gsp.SetAttr("reason", reason)
+			gsp.End()
+			c.rollbackTo(ctx, prevLen)
 			c.metrics.rejected("guard")
-			c.logw().Info("submission rejected by guard",
+			c.logw().InfoContext(gctx, "submission rejected by guard",
 				slog.String("peer", string(peer)), slog.String("rule", ruleName),
-				slog.String("guarded", string(guarded)), slog.String("reason", vs[len(vs)-1].Reason))
-			return nil, fmt.Errorf("server: rejected by the transparency guard for %s: %s", guarded, vs[len(vs)-1].Reason)
+				slog.String("guarded", string(guarded)), slog.String("reason", reason))
+			return reject(fmt.Errorf("server: rejected by the transparency guard for %s: %s", guarded, reason))
 		}
 	}
+	gsp.End()
 	idx := c.run.Len() - 1
 	// Log-before-accept: the event must be durable before any peer can
 	// observe it. A WAL failure rejects the submission and rolls the run
 	// back, so the in-memory state never diverges ahead of disk.
 	if c.log != nil {
-		if err := c.log.Append(wal.Record{Seq: idx, Event: trace.EncodeEvent(e)}); err != nil {
-			c.rollbackTo(prevLen)
+		if err := c.log.AppendCtx(ctx, wal.Record{Seq: idx, Event: trace.EncodeEvent(e)}); err != nil {
+			c.rollbackTo(ctx, prevLen)
 			c.metrics.rejected("wal")
-			c.logw().Error("event not durable, submission rejected",
+			c.logw().ErrorContext(ctx, "event not durable, submission rejected",
 				slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
-			return nil, fmt.Errorf("server: event not durable, rejected: %w", err)
+			return reject(fmt.Errorf("server: event not durable, rejected: %w", err))
 		}
 	}
 	c.metrics.accepted(c.run.Len())
-	c.logw().Debug("submission accepted",
+	sp.SetAttr("index", idx)
+	c.logw().DebugContext(ctx, "submission accepted",
 		slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Int("index", idx))
 	res := &SubmitResult{Index: idx}
 	for _, u := range e.Updates {
@@ -256,14 +302,14 @@ func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[str
 			res.VisibleAt = append(res.VisibleAt, string(q))
 		}
 	}
-	c.notify(idx)
+	c.notify(ctx, idx)
 	if c.log != nil {
 		c.sinceSnapshot++
 		if c.snapshotEvery > 0 && c.sinceSnapshot >= c.snapshotEvery {
 			// A failed snapshot is not fatal — the events are safe in the
 			// WAL and recovery just replays a longer tail — but it is
 			// remembered and surfaced via Ready.
-			c.lastSnapErr = c.writeSnapshotLocked()
+			c.lastSnapErr = c.writeSnapshotLocked(ctx)
 		}
 	}
 	return res, nil
@@ -287,7 +333,11 @@ func (c *Coordinator) sortedGuards() []schema.Peer {
 // are exactly what they were before the attempt. Only the run length, the
 // subscriber channels' contents, and the dropped counter are guaranteed
 // unchanged — all three are asserted by TestGuardRejectionLeavesNoTrace.
-func (c *Coordinator) rollbackTo(n int) {
+func (c *Coordinator) rollbackTo(ctx context.Context, n int) {
+	_, sp := obs.StartSpan(ctx, "coordinator.rollback")
+	sp.SetAttr("from", c.run.Len())
+	sp.SetAttr("to", n)
+	defer sp.End()
 	c.metrics.rolledBack()
 	fresh := program.NewRunFrom(c.prog, c.run.Initial)
 	for i := 0; i < n; i++ {
@@ -323,7 +373,10 @@ func (c *Coordinator) explainer(peer schema.Peer) *core.Explainer {
 
 // notify pushes the transition at index idx to every subscriber that sees
 // it. Slow subscribers lose notifications rather than blocking the run.
-func (c *Coordinator) notify(idx int) {
+func (c *Coordinator) notify(ctx context.Context, idx int) {
+	_, sp := obs.StartSpan(ctx, "coordinator.notify")
+	defer sp.End()
+	sent, droppedNow := 0, 0
 	for peer, chans := range c.subs {
 		if len(chans) == 0 || !c.run.VisibleAt(idx, peer) {
 			continue
@@ -332,10 +385,12 @@ func (c *Coordinator) notify(idx int) {
 		for _, ch := range chans {
 			select {
 			case ch <- n:
+				sent++
 				if c.metrics != nil {
 					c.metrics.notifSent.Inc()
 				}
 			default:
+				droppedNow++
 				c.dropped++
 				c.droppedByPeer[peer]++
 				if c.metrics != nil {
@@ -344,6 +399,8 @@ func (c *Coordinator) notify(idx int) {
 			}
 		}
 	}
+	sp.SetAttr("sent", sent)
+	sp.SetAttr("dropped", droppedNow)
 }
 
 func (c *Coordinator) buildNotification(peer schema.Peer, idx int) Notification {

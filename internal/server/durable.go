@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -139,7 +140,7 @@ func (c *Coordinator) Snapshot() error {
 	if c.log == nil {
 		return fmt.Errorf("server: coordinator is not durable")
 	}
-	return c.writeSnapshotLocked()
+	return c.writeSnapshotLocked(context.Background())
 }
 
 // Close shuts the coordinator down: further submissions are rejected, a
@@ -155,7 +156,7 @@ func (c *Coordinator) Close() error {
 	if c.log == nil {
 		return nil
 	}
-	snapErr := c.writeSnapshotLocked()
+	snapErr := c.writeSnapshotLocked(context.Background())
 	if err := c.log.Close(); err != nil && snapErr == nil {
 		snapErr = err
 	}
@@ -163,8 +164,9 @@ func (c *Coordinator) Close() error {
 }
 
 // writeSnapshotLocked persists the current run prefix and guards. Callers
-// hold the lock.
-func (c *Coordinator) writeSnapshotLocked() error {
+// hold the lock; ctx carries the trace the snapshot should appear in (use
+// context.Background() outside a request).
+func (c *Coordinator) writeSnapshotLocked(ctx context.Context) error {
 	guards := make(map[string]int, len(c.guards))
 	for p, h := range c.guards {
 		guards[string(p)] = h
@@ -175,7 +177,7 @@ func (c *Coordinator) writeSnapshotLocked() error {
 		Len:      c.run.Len(),
 		Trace:    trace.FromRun(c.name, c.run),
 	}
-	if err := c.log.WriteSnapshot(snap); err != nil {
+	if err := c.log.WriteSnapshotCtx(ctx, snap); err != nil {
 		return err
 	}
 	c.sinceSnapshot = 0

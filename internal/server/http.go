@@ -28,6 +28,10 @@ type HTTPOptions struct {
 	// Logger, when non-nil, enables request-scoped access logging through
 	// the "http" subsystem.
 	Logger *slog.Logger
+	// Tracer, when non-nil, wraps every route in a request span (joining a
+	// remote trace when the client sent a W3C traceparent header), so the
+	// flight recorder retains the full HTTP → coordinator → WAL span tree.
+	Tracer *obs.Tracer
 }
 
 const defaultMaxBody = 1 << 20
@@ -65,10 +69,13 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 		httpLog = nil
 	}
 	mux := http.NewServeMux()
-	// handle wraps every route with the instrumentation and access-log
-	// middleware (both no-ops when unconfigured).
+	// handle wraps every route with the tracing, instrumentation and
+	// access-log middleware (all no-ops when unconfigured). Trace sits
+	// outermost so the inner layers see the request span in the context:
+	// Instrument attaches its trace id to the latency exemplar and
+	// AccessLog's line carries it via the trace-aware slog handler.
 	handle := func(route string, h http.HandlerFunc) {
-		mux.Handle(route, Instrument(opts.Metrics, route, AccessLog(httpLog, route, h)))
+		mux.Handle(route, Trace(opts.Tracer, route, Instrument(opts.Metrics, route, AccessLog(httpLog, route, h))))
 	}
 	handle("/submit", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -102,7 +109,7 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 		for k, v := range req.Bindings {
 			bindings[k] = data.Value(v)
 		}
-		res, err := c.Submit(schema.Peer(req.Peer), req.Rule, bindings)
+		res, err := c.SubmitCtx(r.Context(), schema.Peer(req.Peer), req.Rule, bindings)
 		if err != nil {
 			httpError(w, http.StatusConflict, err)
 			return

@@ -5,6 +5,8 @@ import (
 	"log/slog"
 	"net/http"
 	"time"
+
+	"collabwf/internal/obs"
 )
 
 // statusWriter records the first status code a handler set, so the
@@ -42,9 +44,51 @@ func statusClass(code int) string {
 	}
 }
 
+// Trace wraps one route with a span covering the whole request: the root
+// of the request's trace (or a child of a remote trace joined via the W3C
+// traceparent header). It must sit OUTSIDE Instrument and AccessLog so the
+// latency exemplar and the access-log line see the live span in the request
+// context. A nil tracer returns next unchanged.
+func Trace(t *obs.Tracer, route string, next http.Handler) http.Handler {
+	if t == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := obs.ContextWithTracer(r.Context(), t)
+		if traceID, spanID, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx = obs.ContextWithRemoteParent(ctx, traceID, spanID)
+		}
+		ctx, sp := obs.StartSpan(ctx, "http "+route)
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("remote", r.RemoteAddr)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			// Complete the trace even when the handler panics (Recovery sits
+			// outside this middleware), then let the panic continue.
+			code := sw.status
+			if code == 0 {
+				code = http.StatusOK
+			}
+			if v := recover(); v != nil {
+				sp.SetError(fmt.Errorf("panic: %v", v))
+				sp.SetAttr("status", http.StatusInternalServerError)
+				sp.End()
+				panic(v)
+			}
+			sp.SetAttr("status", code)
+			if code >= 500 {
+				sp.SetError(fmt.Errorf("HTTP %d", code))
+			}
+			sp.End()
+		}()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
+
 // Instrument wraps one route with request metrics: per-route request count
-// by status class, in-flight gauge, and a latency histogram. A nil Metrics
-// returns next unchanged, so uninstrumented servers pay nothing.
+// by status class, in-flight gauge, and a latency histogram (with the
+// request's trace id as the bucket exemplar when tracing is active). A nil
+// Metrics returns next unchanged, so uninstrumented servers pay nothing.
 func Instrument(m *Metrics, route string, next http.Handler) http.Handler {
 	if m == nil {
 		return next
@@ -62,7 +106,7 @@ func Instrument(m *Metrics, route string, next http.Handler) http.Handler {
 			code = http.StatusOK
 		}
 		requests.With(route, statusClass(code)).Inc()
-		latency.Observe(time.Since(start).Seconds())
+		latency.ObserveExemplar(time.Since(start).Seconds(), obs.SpanFrom(r.Context()).TraceID())
 	})
 }
 

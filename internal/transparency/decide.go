@@ -6,11 +6,23 @@ import (
 	"sort"
 
 	"collabwf/internal/data"
+	"collabwf/internal/obs"
 	"collabwf/internal/par"
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
 	"collabwf/internal/view"
 )
+
+// stampSearch copies the searcher's effort counters onto a decider span, so
+// a retained trace of a Certify call carries the same numbers that
+// Options.Stats (and the wf_decider_* families) report.
+func (s *searcher) stampSearch(sp *obs.Span) {
+	sp.SetAttr("nodes", s.nodes.Load())
+	sp.SetAttr("cache_hits", s.cands.hits.Load())
+	sp.SetAttr("cache_misses", s.cands.misses.Load())
+	sp.SetAttr("states", s.states)
+	sp.SetAttr("workers", s.opts.workers())
+}
 
 // BoundViolation witnesses a failure of h-boundedness: a minimum p-faithful
 // run of length h+1 on some initial instance, all of whose events but the
@@ -45,9 +57,22 @@ func CheckBounded(p *program.Program, peer schema.Peer, h int, opts Options) (*B
 // first, for every worker count. Cancelling ctx aborts the search with
 // ctx.Err().
 func CheckBoundedCtx(ctx context.Context, p *program.Program, peer schema.Peer, h int, opts Options) (v *BoundViolation, err error) {
+	ctx, sp := obs.StartSpan(ctx, "transparency.check_bounded")
+	sp.SetAttr("peer", string(peer))
+	sp.SetAttr("h", h)
+	defer sp.End()
 	s := newSearcher(p, peer, h, opts)
-	defer func() { s.finishWith(err) }()
+	defer func() {
+		s.finishWith(err)
+		s.stampSearch(sp)
+		sp.SetAttr("violation", v != nil)
+		sp.SetError(err)
+	}()
+	_, esp := obs.StartSpan(ctx, "transparency.enumerate_instances")
 	instances, err := s.instances(ctx)
+	esp.SetAttr("instances", len(instances))
+	esp.SetError(err)
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -56,6 +81,10 @@ func CheckBoundedCtx(ctx context.Context, p *program.Program, peer schema.Peer, 
 	if err != nil {
 		return nil, err
 	}
+	sctx, ssp := obs.StartSpan(ctx, "transparency.search")
+	ssp.SetAttr("jobs", len(jobs))
+	defer ssp.End()
+	ctx = sctx
 	found := make([]*BoundViolation, len(jobs))
 	idx, err := par.ForEachOrdered(ctx, s.opts.workers(), len(jobs), func(jctx context.Context, i int) (bool, error) {
 		j := jobs[i]
@@ -109,8 +138,17 @@ func Bound(p *program.Program, peer schema.Peer, maxH int, opts Options) (int, b
 
 // BoundCtx finds the smallest h for which the program is h-bounded for the
 // peer, trying h = 0..maxH. It returns maxH+1, false if none is found.
-func BoundCtx(ctx context.Context, p *program.Program, peer schema.Peer, maxH int, opts Options) (int, bool, error) {
-	for h := 0; h <= maxH; h++ {
+func BoundCtx(ctx context.Context, p *program.Program, peer schema.Peer, maxH int, opts Options) (h int, ok bool, err error) {
+	ctx, sp := obs.StartSpan(ctx, "transparency.bound")
+	sp.SetAttr("peer", string(peer))
+	sp.SetAttr("max_h", maxH)
+	defer func() {
+		sp.SetAttr("h", h)
+		sp.SetAttr("bounded", ok)
+		sp.SetError(err)
+		sp.End()
+	}()
+	for h = 0; h <= maxH; h++ {
 		v, err := CheckBoundedCtx(ctx, p, peer, h, opts)
 		if err != nil {
 			return 0, false, err
@@ -159,9 +197,22 @@ func CheckTransparent(p *program.Program, peer schema.Peer, h int, opts Options)
 // witness returned is the one the sequential search would find first, for
 // every worker count. Cancelling ctx aborts the search with ctx.Err().
 func CheckTransparentCtx(ctx context.Context, p *program.Program, peer schema.Peer, h int, opts Options) (v *TransparencyViolation, err error) {
+	ctx, sp := obs.StartSpan(ctx, "transparency.check_transparent")
+	sp.SetAttr("peer", string(peer))
+	sp.SetAttr("h", h)
+	defer sp.End()
 	s := newSearcher(p, peer, h, opts)
-	defer func() { s.finishWith(err) }()
+	defer func() {
+		s.finishWith(err)
+		s.stampSearch(sp)
+		sp.SetAttr("violation", v != nil)
+		sp.SetError(err)
+	}()
+	_, fsp := obs.StartSpan(ctx, "transparency.fresh_instances")
 	fresh, err := s.freshInstances(ctx)
+	fsp.SetAttr("instances", len(fresh))
+	fsp.SetError(err)
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +246,10 @@ func CheckTransparentCtx(ctx context.Context, p *program.Program, peer schema.Pe
 			}
 		}
 	}
+	sctx, ssp := obs.StartSpan(ctx, "transparency.search")
+	ssp.SetAttr("jobs", len(jobs))
+	defer ssp.End()
+	ctx = sctx
 	found := make([]*TransparencyViolation, len(jobs))
 	idx, err := par.ForEachOrdered(ctx, s.opts.workers(), len(jobs), func(jctx context.Context, i int) (bool, error) {
 		j := jobs[i]

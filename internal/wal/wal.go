@@ -15,6 +15,7 @@ package wal
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -231,6 +232,18 @@ func (l *Log) Dir() string { return l.dir }
 // must treat the event as rejected. If even the repair fails, the log
 // becomes broken and refuses further appends.
 func (l *Log) Append(rec Record) error {
+	return l.AppendCtx(context.Background(), rec)
+}
+
+// AppendCtx is Append with a caller context: the write (and any fsync under
+// it) appears as a wal.append span in the caller's trace.
+func (l *Log) AppendCtx(ctx context.Context, rec Record) (err error) {
+	ctx, sp := obs.StartSpan(ctx, "wal.append")
+	sp.SetAttr("seq", rec.Seq)
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken != nil {
@@ -249,6 +262,7 @@ func (l *Log) Append(rec Record) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	line = append(line, '\n')
+	sp.SetAttr("bytes", len(line))
 	if fp := l.opts.Failpoints; fp != nil {
 		if n, ok := fp.partialWrite(rec.Seq, len(line)); ok {
 			// Simulate a crash mid-write: some bytes land, then the write
@@ -263,7 +277,7 @@ func (l *Log) Append(rec Record) error {
 		l.m.recordAppend(false)
 		return l.repair(fmt.Errorf("wal: %w", err))
 	}
-	if err := l.maybeSync(); err != nil {
+	if err := l.maybeSync(ctx); err != nil {
 		// The record may not be durable; take it back so memory and disk
 		// agree that it was never accepted.
 		l.m.recordAppend(false)
@@ -289,7 +303,7 @@ func (l *Log) repair(cause error) error {
 }
 
 // maybeSync fsyncs according to the policy. Called with the lock held.
-func (l *Log) maybeSync() error {
+func (l *Log) maybeSync(ctx context.Context) error {
 	switch l.opts.Sync {
 	case SyncNever:
 		return nil
@@ -298,10 +312,15 @@ func (l *Log) maybeSync() error {
 			return nil
 		}
 	}
-	return l.syncLocked()
+	return l.syncLocked(ctx)
 }
 
-func (l *Log) syncLocked() error {
+func (l *Log) syncLocked(ctx context.Context) (err error) {
+	_, sp := obs.StartSpan(ctx, "wal.fsync")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	if fp := l.opts.Failpoints; fp != nil {
 		if err := fp.syncErr(); err != nil {
 			l.m.recordFailpoint()
@@ -326,7 +345,7 @@ func (l *Log) Sync() error {
 	if l.broken != nil {
 		return fmt.Errorf("wal: log is broken: %w", l.broken)
 	}
-	return l.syncLocked()
+	return l.syncLocked(context.Background())
 }
 
 // Healthy returns nil when the log can accept appends.
@@ -344,7 +363,20 @@ func (l *Log) Healthy() error {
 // after it. A crash between the snapshot rename and the log reset is
 // harmless — the leftover records have Seq < snap.Len and recovery skips
 // them.
-func (l *Log) WriteSnapshot(snap *Snapshot) (err error) {
+func (l *Log) WriteSnapshot(snap *Snapshot) error {
+	return l.WriteSnapshotCtx(context.Background(), snap)
+}
+
+// WriteSnapshotCtx is WriteSnapshot with a caller context: the snapshot
+// write appears as a wal.snapshot span in the caller's trace (e.g. inside
+// the coordinator.submit that crossed the snapshot-every threshold).
+func (l *Log) WriteSnapshotCtx(ctx context.Context, snap *Snapshot) (err error) {
+	_, sp := obs.StartSpan(ctx, "wal.snapshot")
+	sp.SetAttr("events", snap.Len)
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken != nil {
@@ -358,6 +390,7 @@ func (l *Log) WriteSnapshot(snap *Snapshot) (err error) {
 		return fmt.Errorf("wal: %w", err)
 	}
 	size = len(data)
+	sp.SetAttr("bytes", size)
 	tmp := filepath.Join(l.dir, snapshotName+".tmp")
 	if err := writeFileSync(tmp, data); err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -388,7 +421,7 @@ func (l *Log) Close() error {
 	defer l.mu.Unlock()
 	var syncErr error
 	if l.broken == nil && l.opts.Sync != SyncNever {
-		syncErr = l.syncLocked()
+		syncErr = l.syncLocked(context.Background())
 	}
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
