@@ -3,15 +3,39 @@ package obs
 import (
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
 // MetricsHandler serves the registry in the Prometheus text exposition
-// format.
+// format, upgrading to OpenMetrics (with per-bucket trace-id exemplars and
+// the "# EOF" terminator) when the client's Accept header asks for
+// "application/openmetrics-text". Exemplars are only valid in OpenMetrics —
+// a 0.0.4 text-format scrape must never see them, or the whole scrape fails
+// to parse.
 func MetricsHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if acceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
+}
+
+// acceptsOpenMetrics reports whether an Accept header offers the
+// OpenMetrics media type. A full q-value negotiation is overkill here:
+// Prometheus sends "application/openmetrics-text; version=…; q=0.x" first
+// exactly when it can parse it, and plain scrapers never mention it.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mediaType) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
 }
 
 // DebugMux builds the debug endpoint surface served behind wfserve's

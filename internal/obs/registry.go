@@ -484,7 +484,33 @@ func (r *Registry) Gather() []FamilySnapshot {
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (version 0.0.4). Families with no series still emit their HELP and
 // TYPE header lines, so scrapers and CI checks see every registered family.
+// Exemplars are NOT written: the 0.0.4 text parser rejects the trailing
+// " # {…}" annotation after a sample value, so they only appear in
+// WriteOpenMetrics output.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics writes the registry in the OpenMetrics text exposition
+// format: the same families and samples as WritePrometheus, plus per-bucket
+// exemplar annotations (" # {trace_id=\"…\"} value ts") and the mandatory
+// "# EOF" terminator. Serve this only to clients that negotiated
+// "application/openmetrics-text" (see MetricsHandler).
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeExposition(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeExposition(w io.Writer, exemplars bool) error {
+	suffix := func(e *Exemplar) string {
+		if !exemplars {
+			return ""
+		}
+		return exemplarSuffix(e)
+	}
 	for _, fam := range r.Gather() {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
 			fam.Name, escapeHelp(fam.Help), fam.Name, fam.Type); err != nil {
@@ -498,11 +524,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				continue
 			}
 			for _, b := range s.Hist.Buckets {
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.Name, labelString(s.Labels, "le", b.Le), b.Count, exemplarSuffix(b.Exemplar)); err != nil {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.Name, labelString(s.Labels, "le", b.Le), b.Count, suffix(b.Exemplar)); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.Name, labelString(s.Labels, "le", math.Inf(1)), s.Hist.Count, exemplarSuffix(s.Hist.InfExemplar)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.Name, labelString(s.Labels, "le", math.Inf(1)), s.Hist.Count, suffix(s.Hist.InfExemplar)); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
@@ -545,10 +571,10 @@ func labelString(labels []Label, extraName string, extra float64) string {
 	return b.String()
 }
 
-// exemplarSuffix renders an OpenMetrics-style exemplar annotation
+// exemplarSuffix renders an OpenMetrics exemplar annotation
 // (" # {trace_id=\"…\"} value timestamp") for a bucket line, or "" when the
-// bucket has none — so exposition without exemplars stays byte-identical to
-// the plain text format.
+// bucket has none. Only WriteOpenMetrics emits these — the Prometheus 0.0.4
+// text parser treats a trailing '#' after the value as a parse error.
 func exemplarSuffix(e *Exemplar) string {
 	if e == nil {
 		return ""

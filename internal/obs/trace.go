@@ -238,8 +238,11 @@ func (at *activeTrace) finish(root *spanState) {
 		DroppedSpans: at.drop,
 		Spans:        make([]*SpanData, 0, len(at.spans)),
 	}
+	// All SpanData/attrs mutation (SetAttr, SetError, End) happens under
+	// at.mu, so this copy is consistent even for spans still running — they
+	// keep mutating their spanState afterwards, but never this TraceData.
 	for _, s := range at.spans {
-		d := s.data // copy; the span owner must not mutate after trace end
+		d := s.data
 		if len(s.attrs) > 0 {
 			d.Attrs = make(map[string]any, len(s.attrs))
 			for k, v := range s.attrs {
@@ -255,8 +258,10 @@ func (at *activeTrace) finish(root *spanState) {
 
 // Span is one timed, named unit of work inside a trace. A nil *Span is a
 // valid no-op (the uninstrumented fast path), so callers never need to
-// nil-check. A span is owned by the goroutine that started it: SetAttr,
-// SetError and End must not race with each other.
+// nil-check. SetAttr, SetError and End synchronize on the trace's mutex, so
+// spans of one trace may live on different goroutines — a child span may
+// still be running when the root ends (it is then recorded as Unfinished,
+// with whatever attributes it had set by that point).
 type Span struct {
 	at       *activeTrace
 	st       *spanState
@@ -280,15 +285,24 @@ func (s *Span) SpanID() string {
 	return s.st.data.SpanID
 }
 
+// ended reports whether End has run, under the trace lock.
+func (s *Span) ended() bool {
+	s.at.mu.Lock()
+	defer s.at.mu.Unlock()
+	return s.st.ended
+}
+
 // SetAttr attaches a key/value attribute (JSON-encodable values).
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil {
 		return
 	}
+	s.at.mu.Lock()
 	if s.st.attrs == nil {
 		s.st.attrs = make(map[string]any, 4)
 	}
 	s.st.attrs[key] = value
+	s.at.mu.Unlock()
 }
 
 // SetError marks the span (and hence its trace) as failed.
@@ -296,8 +310,8 @@ func (s *Span) SetError(err error) {
 	if s == nil || err == nil {
 		return
 	}
-	s.st.data.Error = err.Error()
 	s.at.mu.Lock()
+	s.st.data.Error = err.Error()
 	s.at.errs++
 	s.at.mu.Unlock()
 }
@@ -305,11 +319,19 @@ func (s *Span) SetError(err error) {
 // End stamps the span's duration; ending the root span completes the trace
 // and submits it to the flight recorder. End is idempotent.
 func (s *Span) End() {
-	if s == nil || s.st.ended {
+	if s == nil {
+		return
+	}
+	s.at.mu.Lock()
+	if s.st.ended {
+		s.at.mu.Unlock()
 		return
 	}
 	s.st.data.DurationNS = time.Since(s.st.data.Start).Nanoseconds()
 	s.st.ended = true
+	s.at.mu.Unlock()
+	// finish re-takes at.mu for its snapshot; doing it outside the critical
+	// section above keeps the lock non-reentrant and the copy consistent.
 	if s.root {
 		s.at.finish(s.st)
 	}
@@ -353,7 +375,9 @@ func ContextWithRemoteParent(ctx context.Context, traceID, spanID string) contex
 // trace — begins. The returned context carries the new span; the returned
 // span is nil (a no-op) when tracing is not active.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	if parent := SpanFrom(ctx); parent != nil && !parent.st.ended {
+	if parent := SpanFrom(ctx); parent != nil && !parent.ended() {
+		// TraceID and SpanID are immutable after creation, so reading them
+		// outside parent.at.mu is safe; only `ended` needed the lock above.
 		st := &spanState{data: SpanData{
 			TraceID:  parent.st.data.TraceID,
 			SpanID:   newSpanID(),

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -417,19 +418,107 @@ func TestHistogramExemplars(t *testing.T) {
 		t.Fatalf("%d buckets carry exemplars, want 1", with)
 	}
 
+	// The Prometheus 0.0.4 text format must never carry exemplars — its
+	// parser rejects the trailing '#' after a sample value.
 	var buf bytes.Buffer
 	if err := reg.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
+	if strings.Contains(buf.String(), "# {trace_id=") {
+		t.Errorf("text-format exposition carries an exemplar:\n%s", buf.String())
+	}
+
+	// The OpenMetrics exposition carries it, on exactly one bucket line,
+	// and is terminated by # EOF.
+	buf.Reset()
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
 	text := buf.String()
 	if !strings.Contains(text, `# {trace_id="cafecafecafecafecafecafecafecafe"} 0.5`) {
-		t.Errorf("exposition lacks exemplar:\n%s", text)
+		t.Errorf("OpenMetrics exposition lacks exemplar:\n%s", text)
 	}
-	// Only one bucket line carries the exemplar suffix.
 	if n := strings.Count(text, "# {trace_id="); n != 1 {
 		t.Errorf("%d exemplar suffixes, want 1", n)
 	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition must end with # EOF:\n%s", text)
+	}
 }
+
+// TestMetricsHandlerNegotiatesOpenMetrics checks that exemplars are served
+// only to clients that ask for the OpenMetrics media type; a plain
+// Prometheus text scrape stays exemplar-free and parseable.
+func TestMetricsHandlerNegotiatesOpenMetrics(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("wf_neg_latency_seconds", "test", []float64{1})
+	h.ObserveExemplar(0.5, "cafecafecafecafecafecafecafecafe")
+	handler := MetricsHandler(reg)
+
+	scrape := func(accept string) (string, string) {
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec.Header().Get("Content-Type"), rec.Body.String()
+	}
+
+	ct, body := scrape("")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("default Content-Type = %q", ct)
+	}
+	if strings.Contains(body, "# {trace_id=") || strings.Contains(body, "# EOF") {
+		t.Errorf("text-format scrape carries OpenMetrics syntax:\n%s", body)
+	}
+
+	// Prometheus's real Accept header lists OpenMetrics first with params.
+	ct, body = scrape("application/openmetrics-text; version=1.0.0; q=0.5, text/plain;version=0.0.4;q=0.3")
+	if !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("negotiated Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "# {trace_id=\"cafecafecafecafecafecafecafecafe\"") {
+		t.Errorf("OpenMetrics scrape lacks the exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("OpenMetrics scrape must end with # EOF:\n%s", body)
+	}
+}
+
+// TestSpanConcurrentMutationDuringFinish drives the documented worst case —
+// child spans still running (SetAttr/End) while the root ends and the trace
+// is snapshotted — and relies on -race to flag unsynchronized access.
+func TestSpanConcurrentMutationDuringFinish(t *testing.T) {
+	tr := NewTracer(TracerOptions{Capacity: 64})
+	for round := 0; round < 20; round++ {
+		ctx := ContextWithTracer(context.Background(), tr)
+		ctx, root := StartSpan(ctx, "root")
+		children := make([]*Span, 4)
+		for i := range children {
+			_, children[i] = StartSpan(ctx, "child")
+		}
+		var wg sync.WaitGroup
+		for _, child := range children {
+			wg.Add(1)
+			go func(child *Span) {
+				defer wg.Done()
+				for j := 0; j < 50; j++ {
+					child.SetAttr("n", j)
+				}
+				child.SetError(errTest)
+				child.End()
+			}(child)
+		}
+		root.End() // races with the children's mutation by design
+		wg.Wait()
+	}
+	if got := len(tr.Traces()); got != 20 {
+		t.Fatalf("recorder holds %d traces, want 20", got)
+	}
+}
+
+var errTest = errors.New("test error")
 
 func TestRuntimeMetricsRegistered(t *testing.T) {
 	reg := NewRegistry()

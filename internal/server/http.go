@@ -74,8 +74,17 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 	// outermost so the inner layers see the request span in the context:
 	// Instrument attaches its trace id to the latency exemplar and
 	// AccessLog's line carries it via the trace-aware slog handler.
+	// Liveness/readiness probes are instrumented and logged but NOT traced:
+	// a kubelet polling /healthz every few seconds would otherwise evict
+	// every interesting submit/certify trace from the bounded flight
+	// recorder.
+	probes := map[string]bool{"/healthz": true, "/readyz": true}
 	handle := func(route string, h http.HandlerFunc) {
-		mux.Handle(route, Trace(opts.Tracer, route, Instrument(opts.Metrics, route, AccessLog(httpLog, route, h))))
+		var wrapped http.Handler = Instrument(opts.Metrics, route, AccessLog(httpLog, route, h))
+		if !probes[route] {
+			wrapped = Trace(opts.Tracer, route, wrapped)
+		}
+		mux.Handle(route, wrapped)
 	}
 	handle("/submit", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

@@ -16,6 +16,16 @@ type statusWriter struct {
 	status int
 }
 
+// wrapStatus returns w as a *statusWriter, reusing it when an outer
+// middleware already wrapped — the whole Trace → Instrument → AccessLog
+// chain shares one writer (and hence one recorded status) per request.
+func wrapStatus(w http.ResponseWriter) *statusWriter {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw
+	}
+	return &statusWriter{ResponseWriter: w}
+}
+
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
@@ -28,6 +38,23 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working behind the instrumentation; a flush commits the implicit 200.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// recovers Hijack/SetDeadline and friends through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
 }
 
 // statusClass buckets a status code into its Prometheus label class.
@@ -61,7 +88,7 @@ func Trace(t *obs.Tracer, route string, next http.Handler) http.Handler {
 		ctx, sp := obs.StartSpan(ctx, "http "+route)
 		sp.SetAttr("method", r.Method)
 		sp.SetAttr("remote", r.RemoteAddr)
-		sw := &statusWriter{ResponseWriter: w}
+		sw := wrapStatus(w)
 		defer func() {
 			// Complete the trace even when the handler panics (Recovery sits
 			// outside this middleware), then let the panic continue.
@@ -98,7 +125,7 @@ func Instrument(m *Metrics, route string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m.httpInFlight.Inc()
 		defer m.httpInFlight.Dec()
-		sw := &statusWriter{ResponseWriter: w}
+		sw := wrapStatus(w)
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		code := sw.status
@@ -118,7 +145,7 @@ func AccessLog(l *slog.Logger, route string, next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		sw := wrapStatus(w)
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		code := sw.status

@@ -81,13 +81,33 @@ func TestSubmitTraceEndToEnd(t *testing.T) {
 		t.Errorf("log output lacks trace_id %s:\n%s", td.TraceID, logBuf.String())
 	}
 
-	// The latency histogram's bucket exemplar references the trace.
+	// The latency histogram's bucket exemplar references the trace — in the
+	// OpenMetrics exposition only; the 0.0.4 text format must stay clean.
 	var metricsBuf bytes.Buffer
-	if err := reg.WritePrometheus(&metricsBuf); err != nil {
+	if err := reg.WriteOpenMetrics(&metricsBuf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(metricsBuf.String(), `# {trace_id="`+td.TraceID+`"}`) {
-		t.Error("exposition lacks a latency exemplar with the submit trace id")
+		t.Error("OpenMetrics exposition lacks a latency exemplar with the submit trace id")
+	}
+	metricsBuf.Reset()
+	if err := reg.WritePrometheus(&metricsBuf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(metricsBuf.String(), "# {trace_id=") {
+		t.Error("Prometheus text exposition must not carry exemplars")
+	}
+
+	// Probe routes are not traced: polling them must not evict real traces.
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", probe, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s status %d", probe, rec.Code)
+		}
+	}
+	if got := len(tracer.Traces()); got != 1 {
+		t.Errorf("recorder holds %d traces after probe requests, want 1 (probes must not be traced)", got)
 	}
 }
 
