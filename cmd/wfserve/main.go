@@ -16,7 +16,8 @@
 //
 //	wfserve -spec workflow.wf [-addr :8080] [-guard sue=3 -guard bob=2]
 //	        [-data-dir ./data] [-fsync always|interval|never]
-//	        [-snapshot-every 256] [-shutdown-timeout 10s]
+//	        [-snapshot-every 256] [-wal-max-batch 64] [-max-inflight 256]
+//	        [-shutdown-timeout 10s]
 //	        [-request-timeout 30s] [-debug-addr :6060]
 //	        [-log-level info] [-log-format auto|text|json]
 //	        [-trace-sample always|error|slow|off] [-trace-slow 100ms]
@@ -70,6 +71,8 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request timeout (0 = unbounded)")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum /submit body size in bytes")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent /submit requests before shedding with 429 (0 = unbounded)")
+	walMaxBatch := flag.Int("wal-max-batch", 0, "max records per group-commit fsync batch (0 = unbounded)")
 	debugAddr := flag.String("debug-addr", "", "debug listener (pprof + /metrics + /debug/traces); empty = disabled")
 	traceSample := flag.String("trace-sample", "always", "trace sampling policy: always, error, slow or off")
 	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "root-span duration threshold for -trace-sample slow")
@@ -121,6 +124,7 @@ func main() {
 			Dir:           *dataDir,
 			Sync:          policy,
 			SnapshotEvery: *snapshotEvery,
+			MaxBatch:      *walMaxBatch,
 			Metrics:       reg,
 		})
 		if err != nil {
@@ -163,6 +167,7 @@ func main() {
 		Metrics:        metrics,
 		Logger:         logger,
 		Tracer:         tracer,
+		MaxInFlight:    *maxInFlight,
 	})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 

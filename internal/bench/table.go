@@ -15,7 +15,7 @@ import (
 
 // Table is one experiment's result.
 type Table struct {
-	// ID is the experiment identifier (E1..E15).
+	// ID is the experiment identifier (E1..E16).
 	ID string
 	// Title summarizes the experiment.
 	Title string
@@ -102,5 +102,6 @@ func All() []Experiment {
 		{"E13", E13Provenance},
 		{"E14", E14Coordinator},
 		{"E15", E15ParallelSearch},
+		{"E16", E16GroupCommit},
 	}
 }

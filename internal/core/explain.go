@@ -41,8 +41,19 @@ func NewExplainer(r *program.Run, peer schema.Peer) *Explainer {
 	return &Explainer{Run: r, Peer: peer, maint: faithful.NewMaintainer(r, peer)}
 }
 
+// NewExplainerAt attaches an explainer processing only the first n events
+// of the run — for callers that expose a bounded prefix (e.g. a durable
+// coordinator whose buffered tail is not yet fsynced).
+func NewExplainerAt(r *program.Run, peer schema.Peer, n int) *Explainer {
+	return &Explainer{Run: r, Peer: peer, maint: faithful.NewMaintainerAt(r, peer, n)}
+}
+
 // Sync processes events appended to the run since the last call.
 func (e *Explainer) Sync() { e.maint.Sync() }
+
+// SyncTo processes events up to (exclusive) index n only, so explanations
+// never describe events past the caller's chosen prefix.
+func (e *Explainer) SyncTo(n int) { e.maint.SyncTo(n) }
 
 // MinimalScenario returns the event indices of the unique minimal
 // p-faithful scenario of the run (Theorem 4.7) — the canonical explanation
@@ -69,6 +80,11 @@ func (e *Explainer) Report() *Report {
 	rep := &Report{Peer: e.Peer}
 	explained := make(map[int]bool)
 	for _, i := range e.Run.VisibleEvents(e.Peer) {
+		// Describe only the synced prefix: events past it (buffered but not
+		// yet released by the caller) must not leak into the report.
+		if i >= e.maint.Len() {
+			break
+		}
 		tr := Transition{Index: i, Event: describeEvent(e.Run, i, e.Peer)}
 		for _, j := range e.ExplainEvent(i) {
 			if j == i || explained[j] {

@@ -33,19 +33,34 @@ type Maintainer struct {
 // NewMaintainer builds a maintainer for p over r, replaying any events
 // already in r through the incremental algorithm.
 func NewMaintainer(r *program.Run, p schema.Peer) *Maintainer {
+	return NewMaintainerAt(r, p, r.Len())
+}
+
+// NewMaintainerAt builds a maintainer for p over r processing only the
+// first n events, so a caller exposing a bounded prefix of the run (e.g. a
+// coordinator whose tail is not yet durable) gets explanations over exactly
+// that prefix. Later events are absorbed by SyncTo/Sync.
+func NewMaintainerAt(r *program.Run, p schema.Peer, n int) *Maintainer {
 	m := &Maintainer{
 		p:    p,
 		a:    NewAnalysisPartial(r),
 		main: NewSeq(),
 		refs: make(map[lcID]map[int]bool),
 	}
-	m.Sync()
+	m.SyncTo(n)
 	return m
 }
 
 // Sync processes events appended to the run since the last call.
-func (m *Maintainer) Sync() {
-	for i := m.processed; i < m.a.Run.Len(); i++ {
+func (m *Maintainer) Sync() { m.SyncTo(m.a.Run.Len()) }
+
+// SyncTo processes events up to (exclusive) index n, leaving the rest for a
+// later call; n past the run length is clamped. It never un-processes.
+func (m *Maintainer) SyncTo(n int) {
+	if n > m.a.Run.Len() {
+		n = m.a.Run.Len()
+	}
+	for i := m.processed; i < n; i++ {
 		m.a.SyncTo(i + 1)
 		m.processOne(i)
 		m.processed++

@@ -13,6 +13,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -71,6 +72,17 @@ type Coordinator struct {
 	guards        map[schema.Peer]int
 	guardMonitors map[schema.Peer]*design.Monitor
 
+	// observable is the released prefix length: every read path (View,
+	// Explain, Transitions, Trace, Len, notifications) exposes exactly the
+	// first observable events. Under group commit the run may hold a
+	// buffered tail past it — events appended to the WAL but not yet
+	// fsynced — which no peer may observe (log-before-accept).
+	observable int
+	// visCache caches, per peer, the indices of the peer's visible events
+	// over the released prefix, so steady-state Transitions polling is
+	// O(new events) instead of rescanning the run.
+	visCache map[schema.Peer]*visIndex
+
 	subs   map[schema.Peer]map[int]chan Notification
 	nextID int
 	// dropped counts notifications lost to slow subscribers. It counts
@@ -95,6 +107,10 @@ type Coordinator struct {
 	log           *wal.Log
 	snapshotEvery int
 	sinceSnapshot int
+	// noGroupCommit keeps the synchronous append+fsync path under the
+	// coordinator lock (one fsync per submission) — the pre-batching
+	// behavior, kept for comparison benchmarks.
+	noGroupCommit bool
 	// lastSnapErr remembers a failed background snapshot (the events are
 	// still safe in the WAL); surfaced via Ready.
 	lastSnapErr error
@@ -110,6 +126,7 @@ func New(name string, p *program.Program) *Coordinator {
 		explainers:    make(map[schema.Peer]*core.Explainer),
 		guards:        make(map[schema.Peer]int),
 		guardMonitors: make(map[schema.Peer]*design.Monitor),
+		visCache:      make(map[schema.Peer]*visIndex),
 		subs:          make(map[schema.Peer]map[int]chan Notification),
 		droppedByPeer: make(map[schema.Peer]int),
 	}
@@ -224,7 +241,18 @@ func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[str
 
 // SubmitCtx is Submit with a caller context, so the submission joins the
 // caller's trace (HTTP request span → coordinator.submit → guard_check /
-// wal.append / notify child spans) and log lines carry its trace_id.
+// wal.append / wal.fsync / notify child spans) and log lines carry its
+// trace_id.
+//
+// Under a durable SyncAlways coordinator, submission is a two-stage
+// pipeline: run mutation, guard checks and the WAL *buffer* append happen
+// under the coordinator lock, but the fsync is delegated to the WAL's
+// committer stage — the lock is dropped while this submitter waits on its
+// batch's commit future, so concurrent submitters pile their records into
+// the same fsync (group commit) and read-only calls proceed while the disk
+// works. The result and notifications are released only after the batch is
+// durable; a failed batch sync rolls every event of the batch back, in
+// reverse order, before any of them became observable.
 func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName string, bindings map[string]data.Value) (*SubmitResult, error) {
 	ctx, sp := obs.StartSpan(ctx, "coordinator.submit")
 	sp.SetAttr("peer", string(peer))
@@ -277,22 +305,8 @@ func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName 
 	}
 	gsp.End()
 	idx := c.run.Len() - 1
-	// Log-before-accept: the event must be durable before any peer can
-	// observe it. A WAL failure rejects the submission and rolls the run
-	// back, so the in-memory state never diverges ahead of disk.
-	if c.log != nil {
-		if err := c.log.AppendCtx(ctx, wal.Record{Seq: idx, Event: trace.EncodeEvent(e)}); err != nil {
-			c.rollbackTo(ctx, prevLen)
-			c.metrics.rejected("wal")
-			c.logw().ErrorContext(ctx, "event not durable, submission rejected",
-				slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
-			return reject(fmt.Errorf("server: event not durable, rejected: %w", err))
-		}
-	}
-	c.metrics.accepted(c.run.Len())
-	sp.SetAttr("index", idx)
-	c.logw().DebugContext(ctx, "submission accepted",
-		slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Int("index", idx))
+	// Precompute the result while the event is fresh; per-step effects are
+	// immutable, so this stays valid across the off-lock commit wait.
 	res := &SubmitResult{Index: idx}
 	for _, u := range e.Updates {
 		res.Updates = append(res.Updates, u.String())
@@ -302,17 +316,124 @@ func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName 
 			res.VisibleAt = append(res.VisibleAt, string(q))
 		}
 	}
-	c.notify(ctx, idx)
+	if c.log == nil {
+		c.acceptLocked(ctx, sp, peer, ruleName, idx)
+		return res, nil
+	}
+	// Log-before-accept: the event must be durable before any peer can
+	// observe it. A WAL failure rejects the submission and rolls the run
+	// back, so the in-memory state never diverges ahead of disk.
+	rec := wal.Record{Seq: idx, Event: trace.EncodeEvent(e)}
+	if c.noGroupCommit {
+		// Pre-batching path: append and fsync synchronously, under the lock.
+		if err := c.log.AppendCtx(ctx, rec); err != nil {
+			c.rollbackTo(ctx, prevLen)
+			c.metrics.rejected("wal")
+			c.logw().ErrorContext(ctx, "event not durable, submission rejected",
+				slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
+			return reject(fmt.Errorf("server: event not durable, rejected: %w", err))
+		}
+		c.acceptLocked(ctx, sp, peer, ruleName, idx)
+		c.maybeSnapshotLocked(ctx)
+		return res, nil
+	}
+	cm, err := c.log.AppendBuffered(ctx, rec)
+	if err != nil {
+		// A write failure is synchronous and private: only this record was
+		// truncated away, so only this event rolls back.
+		c.rollbackTo(ctx, prevLen)
+		c.metrics.rejected("wal")
+		c.logw().ErrorContext(ctx, "event not durable, submission rejected",
+			slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
+		return reject(fmt.Errorf("server: event not durable, rejected: %w", err))
+	}
+	select {
+	case <-cm.Done():
+		// Already resolved (relaxed sync policies): no need to cycle the
+		// lock.
+	default:
+		// Drop the coordinator lock while the committer fsyncs: submissions
+		// arriving now buffer their records behind ours and share the next
+		// fsync, and read-only calls are not queued behind disk latency.
+		c.mu.Unlock()
+		_, wsp := obs.StartSpan(ctx, "coordinator.commit_wait")
+		werr := cm.Wait()
+		wsp.SetAttr("batch", cm.BatchSize())
+		wsp.SetError(werr)
+		wsp.End()
+		c.mu.Lock()
+	}
+	if err := cm.Err(); err != nil {
+		// The group sync failed: the WAL already truncated every record
+		// past its durable prefix and stalled. Realign the run (dropping
+		// the same events before any became observable) and resume.
+		c.handleWALStallLocked(ctx)
+		c.metrics.rejected("wal")
+		c.logw().ErrorContext(ctx, "event not durable, submission rejected",
+			slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
+		return reject(fmt.Errorf("server: event not durable, rejected: %w", err))
+	}
+	sp.SetAttr("batch", cm.BatchSize())
+	c.acceptLocked(ctx, sp, peer, ruleName, idx)
+	c.maybeSnapshotLocked(ctx)
+	return res, nil
+}
+
+// acceptLocked records the acceptance of event idx and releases every event
+// up to it to observers. With pipelined commits a submitter can find its
+// event already released (a later submitter in the same durable batch
+// re-acquired the lock first); releaseLocked is idempotent for that case.
+func (c *Coordinator) acceptLocked(ctx context.Context, sp *obs.Span, peer schema.Peer, ruleName string, idx int) {
+	sp.SetAttr("index", idx)
+	c.logw().DebugContext(ctx, "submission accepted",
+		slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Int("index", idx))
+	c.releaseLocked(ctx, idx)
+	c.metrics.accepted(c.observable)
 	if c.log != nil {
 		c.sinceSnapshot++
-		if c.snapshotEvery > 0 && c.sinceSnapshot >= c.snapshotEvery {
-			// A failed snapshot is not fatal — the events are safe in the
-			// WAL and recovery just replays a longer tail — but it is
-			// remembered and surfaced via Ready.
-			c.lastSnapErr = c.writeSnapshotLocked(ctx)
-		}
 	}
-	return res, nil
+}
+
+// releaseLocked makes every event up to idx observable, notifying
+// subscribers in strict index order. Commits resolve in sequence order, so
+// by the time the submitter of idx holds the lock again every earlier event
+// is durable too — the released prefix is always contiguous.
+func (c *Coordinator) releaseLocked(ctx context.Context, idx int) {
+	for i := c.observable; i <= idx; i++ {
+		c.observable = i + 1
+		c.notify(ctx, i)
+	}
+}
+
+// maybeSnapshotLocked writes a snapshot once enough events accumulated
+// since the last one. A failed snapshot is not fatal — the events are safe
+// in the WAL and recovery just replays a longer tail — but it is remembered
+// and surfaced via Ready. wal.ErrBusy (commits still in flight) is not a
+// failure: the attempt is simply retried on a later submission once the
+// commit queue has drained.
+func (c *Coordinator) maybeSnapshotLocked(ctx context.Context) {
+	if c.closed || c.snapshotEvery <= 0 || c.sinceSnapshot < c.snapshotEvery {
+		return
+	}
+	if err := c.writeSnapshotLocked(ctx); err != nil && !errors.Is(err, wal.ErrBusy) {
+		c.lastSnapErr = err
+	}
+}
+
+// handleWALStallLocked realigns the coordinator after a failed group sync:
+// the WAL truncated everything past its durable prefix and refuses appends
+// until the run sheds the same events. Every submitter of a failed commit
+// calls this; the first to reach the lock rolls the run back to the
+// accepted prefix (in reverse order — none of the dropped events was ever
+// observable) and resumes the log, the rest find nothing left to do.
+func (c *Coordinator) handleWALStallLocked(ctx context.Context) {
+	if c.log.Stalled() == nil {
+		return
+	}
+	if n := c.log.Accepted(); n < c.run.Len() {
+		c.rollbackTo(ctx, n)
+	}
+	c.log.Resume()
 }
 
 // sortedGuards returns the guarded peers in deterministic order.
@@ -325,49 +446,39 @@ func (c *Coordinator) sortedGuards() []schema.Peer {
 	return out
 }
 
-// rollbackTo rebuilds the run from its first n events after a rejected
-// submission (guard violation or WAL failure). Rejection is invisible to
-// every observer: notify runs only after an event is accepted, so rejected
-// events never reach a subscriber channel, and the explainers and guard
-// monitors are rebuilt against the restored run so Explain/Scenario answers
-// are exactly what they were before the attempt. Only the run length, the
-// subscriber channels' contents, and the dropped counter are guaranteed
-// unchanged — all three are asserted by TestGuardRejectionLeavesNoTrace.
+// rollbackTo truncates the run to its first n events after a rejected
+// submission (guard violation or WAL failure) — the dropped suffix is
+// removed in reverse order, O(dropped), not by rebuilding the prefix.
+// Rejection is invisible to every observer: rollback always targets
+// n ≥ observable (notify runs only after an event is released), so rejected
+// events never reach a subscriber channel, and the explainers and
+// visible-index caches — synced only to the released prefix — stay valid
+// untouched. The guard monitors ran ahead of the release point during the
+// guard check and are rebuilt. Only the run length, the subscriber
+// channels' contents, and the dropped counter are guaranteed unchanged —
+// all three are asserted by TestGuardRejectionLeavesNoTrace.
 func (c *Coordinator) rollbackTo(ctx context.Context, n int) {
 	_, sp := obs.StartSpan(ctx, "coordinator.rollback")
 	sp.SetAttr("from", c.run.Len())
 	sp.SetAttr("to", n)
 	defer sp.End()
 	c.metrics.rolledBack()
-	fresh := program.NewRunFrom(c.prog, c.run.Initial)
-	for i := 0; i < n; i++ {
-		fresh.MustAppend(c.run.Event(i))
-	}
-	c.run = fresh
-	// Re-seed the explainers that peers had built up: their maintainers
-	// reference the replaced run, so recreate them on the restored run (and
-	// sync eagerly, restoring the exact pre-rejection state).
-	old := c.explainers
-	c.explainers = make(map[schema.Peer]*core.Explainer, len(old))
-	for peer := range old {
-		ex := core.NewExplainer(fresh, peer)
-		ex.Sync()
-		c.explainers[peer] = ex
-	}
+	c.run.Truncate(n)
 	for peer, h := range c.guards {
-		c.guardMonitors[peer] = design.NewMonitor(fresh, peer, h)
+		c.guardMonitors[peer] = design.NewMonitor(c.run, peer, h)
 	}
 }
 
-// explainer returns the (synced) incremental explainer for the peer.
-// Callers hold the lock.
+// explainer returns the incremental explainer for the peer, synced to the
+// released prefix only — buffered events awaiting their fsync must not leak
+// into explanations. Callers hold the lock.
 func (c *Coordinator) explainer(peer schema.Peer) *core.Explainer {
 	ex, ok := c.explainers[peer]
 	if !ok {
-		ex = core.NewExplainer(c.run, peer)
+		ex = core.NewExplainerAt(c.run, peer, c.observable)
 		c.explainers[peer] = ex
 	}
-	ex.Sync()
+	ex.SyncTo(c.observable)
 	return ex
 }
 
@@ -428,6 +539,9 @@ func (c *Coordinator) buildNotification(peer schema.Peer, idx int) Notification 
 func (c *Coordinator) Subscribe(peer schema.Peer, buffer int) (<-chan Notification, func(), error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, nil, fmt.Errorf("server: coordinator is shut down")
+	}
 	if !c.prog.Schema.HasPeer(peer) {
 		return nil, nil, fmt.Errorf("server: unknown peer %s", peer)
 	}
@@ -444,6 +558,9 @@ func (c *Coordinator) Subscribe(peer schema.Peer, buffer int) (<-chan Notificati
 	if c.metrics != nil {
 		c.metrics.subscribers.Inc()
 	}
+	// cancel is idempotent and stays safe after Close: it only ever deletes
+	// the channel from the registry — closing is Close's job alone, so a
+	// cancel racing a shutdown can never double-close.
 	cancel := func() {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -457,7 +574,25 @@ func (c *Coordinator) Subscribe(peer schema.Peer, buffer int) (<-chan Notificati
 	return ch, cancel, nil
 }
 
-// View renders the peer's current view of the database. On an empty run
+// closeSubscribersLocked closes every subscriber channel so consumers
+// ranging over them exit at shutdown, and zeroes the subscriber accounting
+// (the wf_subscribers gauge would otherwise stay stale forever). Callers
+// hold the lock and must have released every accepted event first.
+func (c *Coordinator) closeSubscribersLocked() {
+	for peer, chans := range c.subs {
+		for id, ch := range chans {
+			close(ch)
+			delete(chans, id)
+			if c.metrics != nil {
+				c.metrics.subscribers.Dec()
+			}
+		}
+		delete(c.subs, peer)
+	}
+}
+
+// View renders the peer's current view of the database — of the released
+// prefix; buffered events not yet durable are invisible. On an empty run
 // (ViewAt index −1) this is the peer's view of the initial instance.
 func (c *Coordinator) View(peer schema.Peer) (string, error) {
 	c.mu.Lock()
@@ -465,7 +600,7 @@ func (c *Coordinator) View(peer schema.Peer) (string, error) {
 	if !c.prog.Schema.HasPeer(peer) {
 		return "", fmt.Errorf("server: unknown peer %s", peer)
 	}
-	return c.run.ViewAt(c.run.Len()-1, peer).String(), nil
+	return c.run.ViewAt(c.observable-1, peer).String(), nil
 }
 
 // Explain returns the peer's runtime explanation report of the run so far.
@@ -488,35 +623,63 @@ func (c *Coordinator) Scenario(peer schema.Peer) ([]int, error) {
 	return c.explainer(peer).MinimalScenario(), nil
 }
 
+// visIndex caches one peer's visible-event indices over the released
+// prefix; upto is how far the scan has advanced.
+type visIndex struct {
+	upto int
+	idxs []int
+}
+
+// visibleLocked returns the (sorted) indices of the peer's visible events
+// over the released prefix, extending the cache by exactly the events
+// released since the last call. Callers hold the lock.
+func (c *Coordinator) visibleLocked(peer schema.Peer) []int {
+	vi := c.visCache[peer]
+	if vi == nil {
+		vi = &visIndex{}
+		c.visCache[peer] = vi
+	}
+	for i := vi.upto; i < c.observable; i++ {
+		if c.run.VisibleAt(i, peer) {
+			vi.idxs = append(vi.idxs, i)
+		}
+	}
+	vi.upto = c.observable
+	return vi.idxs
+}
+
 // Transitions returns the peer's visible transitions with indices ≥ from,
-// for poll-based observation.
+// for poll-based observation. The visible-index cache makes steady-state
+// polling O(new events + answer): the cache grows only with newly released
+// events and a binary search finds the resume point, instead of rescanning
+// the whole run per poll.
 func (c *Coordinator) Transitions(peer schema.Peer, from int) ([]Notification, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.prog.Schema.HasPeer(peer) {
 		return nil, fmt.Errorf("server: unknown peer %s", peer)
 	}
+	idxs := c.visibleLocked(peer)
 	var out []Notification
-	for _, idx := range c.run.VisibleEvents(peer) {
-		if idx >= from {
-			out = append(out, c.buildNotification(peer, idx))
-		}
+	for _, idx := range idxs[sort.SearchInts(idxs, from):] {
+		out = append(out, c.buildNotification(peer, idx))
 	}
 	return out, nil
 }
 
-// Trace exports the full run as a replayable trace (operator access).
+// Trace exports the released run prefix as a replayable trace (operator
+// access).
 func (c *Coordinator) Trace() *trace.Trace {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return trace.FromRun(c.name, c.run)
+	return trace.FromRunPrefix(c.name, c.run, c.observable)
 }
 
-// Len returns the number of events accepted so far.
+// Len returns the number of events accepted and released so far.
 func (c *Coordinator) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.run.Len()
+	return c.observable
 }
 
 // Dropped reports notifications lost to slow subscribers.

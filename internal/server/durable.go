@@ -25,6 +25,14 @@ type DurabilityConfig struct {
 	// events, keeping the WAL tail (and recovery time) short. 0 disables
 	// automatic snapshots; one is still written by Close.
 	SnapshotEvery int
+	// MaxBatch caps how many buffered records one group-commit fsync
+	// covers; ≤ 0 means unbounded.
+	MaxBatch int
+	// NoGroupCommit keeps the pre-batching submit path: append + fsync
+	// synchronously under the coordinator lock, one fsync per submission.
+	// Exists for comparison benchmarks (wfbench E16) and escape-hatch
+	// debugging; group commit is the default.
+	NoGroupCommit bool
 	// Failpoints, when non-nil, injects WAL faults (tests only).
 	Failpoints *wal.Failpoints
 	// Metrics, when non-nil, records WAL and recovery telemetry on the
@@ -51,6 +59,7 @@ func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinato
 	log, err := wal.Open(cfg.Dir, wal.Options{
 		Sync:         cfg.Sync,
 		SyncInterval: cfg.SyncInterval,
+		MaxBatch:     cfg.MaxBatch,
 		Failpoints:   cfg.Failpoints,
 		Metrics:      cfg.Metrics,
 	})
@@ -60,6 +69,7 @@ func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinato
 	c := New(name, p)
 	c.log = log
 	c.snapshotEvery = cfg.SnapshotEvery
+	c.noGroupCommit = cfg.NoGroupCommit
 
 	snap := log.LoadedSnapshot()
 	if snap != nil {
@@ -101,6 +111,8 @@ func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinato
 			c.guardMonitors[sp] = design.NewMonitor(c.run, sp, h)
 		}
 	}
+	// Everything recovered was durable before the crash: release it all.
+	c.observable = c.run.Len()
 	c.observeRecovery(time.Since(start), c.run.Len())
 	return c, nil
 }
@@ -133,19 +145,38 @@ func (c *Coordinator) Durable() bool {
 	return c.log != nil
 }
 
-// Snapshot forces a snapshot of the current run prefix.
+// CommitQueueDepth reports how many accepted-but-unfsynced records are
+// queued for the next group commit (always 0 for in-memory coordinators
+// and the synchronous append path).
+func (c *Coordinator) CommitQueueDepth() int {
+	c.mu.Lock()
+	log := c.log
+	c.mu.Unlock()
+	if log == nil {
+		return 0
+	}
+	return log.Pending()
+}
+
+// Snapshot forces a snapshot of the current run prefix. In-flight group
+// commits are flushed first so the log reset cannot wipe buffered records.
 func (c *Coordinator) Snapshot() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.log == nil {
 		return fmt.Errorf("server: coordinator is not durable")
 	}
+	if err := c.log.Flush(); err != nil {
+		c.handleWALStallLocked(context.Background())
+	}
 	return c.writeSnapshotLocked(context.Background())
 }
 
-// Close shuts the coordinator down: further submissions are rejected, a
-// final snapshot is written, and the WAL is closed. Idempotent; a nil
-// error means the full state is durable in the snapshot alone.
+// Close shuts the coordinator down: further submissions are rejected, the
+// commit queue is drained and every durable event released, all subscriber
+// channels are closed (so consumers ranging over them exit), a final
+// snapshot is written, and the WAL is closed. Idempotent; a nil error means
+// the full state is durable in the snapshot alone.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -154,8 +185,24 @@ func (c *Coordinator) Close() error {
 	}
 	c.closed = true
 	if c.log == nil {
+		c.closeSubscribersLocked()
 		return nil
 	}
+	// Drain in-flight group commits. The committer needs no coordinator
+	// lock, so holding it here cannot deadlock; submitters blocked on their
+	// futures resolve now and queue behind this lock. A failed drain means
+	// the WAL stalled — realign so the final snapshot describes exactly the
+	// durable prefix.
+	if err := c.log.Flush(); err != nil {
+		c.handleWALStallLocked(context.Background())
+	}
+	// Release events that are durable but whose submitters have not
+	// re-acquired the lock yet — notifications must flow before the
+	// channels close, and in index order.
+	if n := c.run.Len(); n > c.observable {
+		c.releaseLocked(context.Background(), n-1)
+	}
+	c.closeSubscribersLocked()
 	snapErr := c.writeSnapshotLocked(context.Background())
 	if err := c.log.Close(); err != nil && snapErr == nil {
 		snapErr = err

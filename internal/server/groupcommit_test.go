@@ -1,0 +1,383 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"collabwf/internal/obs"
+	"collabwf/internal/schema"
+	"collabwf/internal/wal"
+	"collabwf/internal/workload"
+)
+
+// gaugeValue sums a family's series values on the registry.
+func gaugeValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, fam := range reg.Gather() {
+		if fam.Name != name {
+			continue
+		}
+		total := 0.0
+		for _, s := range fam.Series {
+			total += s.Value
+		}
+		return total
+	}
+	t.Fatalf("family %s not registered", name)
+	return 0
+}
+
+// TestCloseClosesSubscriberChannels is the regression test for the shutdown
+// bug: Close used to leave subscriber channels open, so a client ranging
+// over one hung forever and the wf_subscribers gauge stayed stale.
+func TestCloseClosesSubscriberChannels(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New("Hiring", workload.Hiring())
+	c.Instrument(reg)
+	ch, cancel, err := c.Subscribe("hr", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Subscribe("sue", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("hr", "clear", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan int)
+	go func() {
+		// The ranging consumer: must exit once Close closes the channel.
+		got := 0
+		for range ch {
+			got++
+		}
+		done <- got
+	}()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got != 1 {
+			t.Fatalf("consumer received %d notifications, want 1", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ranging consumer still blocked after Close")
+	}
+	if n := c.Subscribers(); n != 0 {
+		t.Fatalf("Subscribers() = %d after Close, want 0", n)
+	}
+	if g := gaugeValue(t, reg, "wf_subscribers"); g != 0 {
+		t.Fatalf("wf_subscribers = %v after Close, want 0", g)
+	}
+	// cancel after Close must be a safe no-op (the channel is already closed
+	// and unregistered; cancel must not double-close or go negative).
+	cancel()
+	cancel()
+	if g := gaugeValue(t, reg, "wf_subscribers"); g != 0 {
+		t.Fatalf("wf_subscribers = %v after post-Close cancel, want 0", g)
+	}
+	if _, _, err := c.Subscribe("hr", 8); err == nil {
+		t.Fatal("Subscribe after Close must be rejected")
+	}
+}
+
+// TestCloseClosesSubscribersDurable runs the same shutdown contract through
+// the durable path, where Close additionally drains the commit queue and
+// writes the final snapshot before closing the channels.
+func TestCloseClosesSubscribersDurable(t *testing.T) {
+	c, err := NewDurable("Hiring", workload.Hiring(), DurabilityConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _, err := c.Subscribe("hr", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("hr", "clear", nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for range ch {
+		}
+		close(done)
+	}()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ranging consumer still blocked after durable Close")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("second Close must be a nil no-op:", err)
+	}
+}
+
+// TestTransitionsIncrementalMatchesRescan pins the polling optimization:
+// the cached visible-index answer must equal a brute-force rescan of the
+// whole run, for every peer and every from cursor, interleaved with new
+// submissions (which extend the cache incrementally).
+func TestTransitionsIncrementalMatchesRescan(t *testing.T) {
+	prog := workload.Hiring()
+	subs := randomWorkload(t, prog, 11, 12)
+	c := New("Hiring", prog)
+
+	// bruteForce recomputes the peer's visible transitions from scratch,
+	// ignoring the cache — the pre-optimization semantics.
+	bruteForce := func(peer schema.Peer, from int) []Notification {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		var out []Notification
+		for idx := 0; idx < c.observable; idx++ {
+			if idx >= from && c.run.VisibleAt(idx, peer) {
+				out = append(out, c.buildNotification(peer, idx))
+			}
+		}
+		return out
+	}
+
+	check := func() {
+		for _, peer := range prog.Peers() {
+			for from := 0; from <= c.Len()+1; from++ {
+				got, err := c.Transitions(peer, from)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteForce(peer, from)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("peer %s from %d:\n got: %+v\nwant: %+v", peer, from, got, want)
+				}
+			}
+		}
+	}
+
+	check() // empty run
+	for i, s := range subs {
+		if _, err := c.Submit(s.peer, s.rule, s.bindings); err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+		// Poll after every event so the cache is repeatedly extended by one.
+		check()
+	}
+}
+
+// TestCrashDuringGroupCommit is the property test for the batched failure
+// path: when the group fsync fails mid-batch, (a) every submitter whose
+// record was in flight gets an error, (b) recovery replays exactly the
+// durable prefix, and (c) no subscriber ever saw a rolled-back event.
+func TestCrashDuringGroupCommit(t *testing.T) {
+	prog := workload.Hiring()
+	fp := wal.NewFailpoints()
+	dir := t.TempDir()
+	c, err := NewDurable("Hiring", prog, DurabilityConfig{Dir: dir, Sync: wal.SyncAlways, Failpoints: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancelSub, err := c.Subscribe("hr", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelSub()
+
+	const durablePrefix = 3
+	for i := 0; i < durablePrefix; i++ {
+		if _, err := c.Submit("hr", "clear", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Slow the next fsync down so every concurrent submitter lands in the
+	// same doomed window, then fail it.
+	boom := errors.New("EIO mid-batch")
+	fp.SlowSync(150 * time.Millisecond)
+	fp.FailNextSync(boom)
+	const k = 6
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Submit("hr", "clear", nil)
+		}(i)
+	}
+	wg.Wait()
+	fp.Reset()
+
+	// (a) Every submitter in the doomed window errored.
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("submitter %d resolved durable through the failed group sync", i)
+		}
+	}
+	if got := c.Len(); got != durablePrefix {
+		t.Fatalf("Len() = %d after failed batch, want %d", got, durablePrefix)
+	}
+	// The stall was realigned by the failed submitters; the pipeline works
+	// again without outside intervention.
+	if err := c.Ready(); err != nil {
+		t.Fatalf("coordinator not ready after realign: %v", err)
+	}
+	if _, err := c.Submit("hr", "clear", nil); err != nil {
+		t.Fatalf("submit after realign: %v", err)
+	}
+
+	// (c) Notifications cover exactly the released events, in index order —
+	// none for a rolled-back event.
+	want := 0
+	for len(ch) > 0 {
+		n := <-ch
+		if n.Index != want {
+			t.Fatalf("notification index %d, want %d", n.Index, want)
+		}
+		want++
+	}
+	if want != durablePrefix+1 {
+		t.Fatalf("got %d notifications, want %d", want, durablePrefix+1)
+	}
+
+	// (b) Crash (no Close) and recover: exactly the durable prefix replays.
+	state := captureState(t, c)
+	rc, err := Recover("Hiring", prog, DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if got := rc.Len(); got != durablePrefix+1 {
+		t.Fatalf("recovered %d events, want %d", got, durablePrefix+1)
+	}
+	if got := captureState(t, rc); got != state {
+		t.Fatalf("recovered state diverged:\n got: %s\nwant: %s", got, state)
+	}
+}
+
+// TestConcurrentSubmitsReleaseInOrder stresses the pipeline: many
+// concurrent durable submitters, every commit grouped, and still a single
+// totally-ordered run with contiguous in-order notifications.
+func TestConcurrentSubmitsReleaseInOrder(t *testing.T) {
+	prog := workload.Hiring()
+	dir := t.TempDir()
+	c, err := NewDurable("Hiring", prog, DurabilityConfig{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 5
+	ch, cancelSub, err := c.Subscribe("hr", workers*per+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelSub()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := c.Submit("hr", "clear", nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := c.Len(); got != workers*per {
+		t.Fatalf("Len() = %d, want %d", got, workers*per)
+	}
+	next := 0
+	for len(ch) > 0 {
+		n := <-ch
+		if n.Index != next {
+			t.Fatalf("notification index %d, want %d (in-order contiguous release)", n.Index, next)
+		}
+		next++
+	}
+	if next != workers*per {
+		t.Fatalf("received %d notifications, want %d", next, workers*per)
+	}
+	state := captureState(t, c)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Recover("Hiring", prog, DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if got := captureState(t, rc); got != state {
+		t.Fatalf("recovered state diverged:\n got: %s\nwant: %s", got, state)
+	}
+}
+
+// TestAdmissionShedsOverLimit drives the admission middleware directly: with
+// the single slot held, the next request is shed with 429 + Retry-After and
+// counted on wf_admission_shed_total.
+func TestAdmissionShedsOverLimit(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	h := Admission(m, 1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enter <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	firstDone := make(chan *httptest.ResponseRecorder)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/submit", nil))
+		firstDone <- rec
+	}()
+	<-enter // the slot is now held
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/submit", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if got := gaugeValue(t, reg, "wf_admission_shed_total"); got != 1 {
+		t.Fatalf("wf_admission_shed_total = %v, want 1", got)
+	}
+
+	close(release)
+	if rec := <-firstDone; rec.Code != http.StatusOK {
+		t.Fatalf("first request status = %d, want 200", rec.Code)
+	}
+	// Slot free again: the next request passes (the handler no longer blocks
+	// once release is closed).
+	rec = httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() { <-enter; close(done) }()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/submit", nil))
+	<-done
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-release request status = %d, want 200", rec.Code)
+	}
+}
+
+// TestAdmissionUnlimitedPassesThrough: limit ≤ 0 must leave the handler
+// untouched.
+func TestAdmissionUnlimitedPassesThrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	rec := httptest.NewRecorder()
+	Admission(nil, 0, inner).ServeHTTP(rec, httptest.NewRequest("POST", "/submit", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+}

@@ -32,6 +32,10 @@ type HTTPOptions struct {
 	// remote trace when the client sent a W3C traceparent header), so the
 	// flight recorder retains the full HTTP → coordinator → WAL span tree.
 	Tracer *obs.Tracer
+	// MaxInFlight caps concurrent /submit requests: excess load is shed
+	// immediately with 429 + Retry-After instead of convoying on the
+	// coordinator lock. ≤ 0 disables the cap.
+	MaxInFlight int
 }
 
 const defaultMaxBody = 1 << 20
@@ -86,7 +90,9 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 		}
 		mux.Handle(route, wrapped)
 	}
-	handle("/submit", func(w http.ResponseWriter, r *http.Request) {
+	// Admission sits innermost on /submit so a shed request is still
+	// traced, logged and counted (as a 4xx) like any other response.
+	handle("/submit", Admission(opts.Metrics, opts.MaxInFlight, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 			return
@@ -124,7 +130,7 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 			return
 		}
 		writeJSON(w, res)
-	})
+	})).ServeHTTP)
 
 	handle("/view", func(w http.ResponseWriter, r *http.Request) {
 		v, err := c.View(peerParam(r))

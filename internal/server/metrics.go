@@ -19,9 +19,10 @@ type Metrics struct {
 	reg *obs.Registry
 
 	// HTTP layer.
-	httpRequests obs.CounterVec // route, code (status class: 2xx…5xx)
-	httpInFlight *obs.Gauge
-	httpLatency  obs.HistogramVec // route
+	httpRequests  obs.CounterVec // route, code (status class: 2xx…5xx)
+	httpInFlight  *obs.Gauge
+	httpLatency   obs.HistogramVec // route
+	admissionShed *obs.Counter
 
 	// Coordinator.
 	submitAccepted *obs.Counter
@@ -55,6 +56,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"HTTP requests currently being served."),
 		httpLatency: reg.HistogramVec("wf_http_request_duration_seconds",
 			"HTTP request latency in seconds, by route.", nil, "route"),
+		admissionShed: reg.Counter("wf_admission_shed_total",
+			"Submissions shed with 429 by the in-flight admission cap."),
 
 		submitAccepted: reg.Counter("wf_submissions_accepted_total",
 			"Submissions accepted into the global run."),
@@ -110,6 +113,13 @@ func (m *Metrics) accepted(runLen int) {
 	}
 }
 
+// shed records one submission shed by the admission cap. Nil-safe.
+func (m *Metrics) shed() {
+	if m != nil {
+		m.admissionShed.Inc()
+	}
+}
+
 // rolledBack records one rollback. Nil-safe.
 func (m *Metrics) rolledBack() {
 	if m != nil {
@@ -160,7 +170,7 @@ func (c *Coordinator) Instrument(reg *obs.Registry) *Metrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.metrics = m
-	m.runEvents.Set(float64(c.run.Len()))
+	m.runEvents.Set(float64(c.observable))
 	total := 0
 	for _, chans := range c.subs {
 		total += len(chans)

@@ -163,6 +163,30 @@ func AccessLog(l *slog.Logger, route string, next http.Handler) http.Handler {
 	})
 }
 
+// Admission bounds how many requests may be past it concurrently: with
+// `limit` in flight, the next request is shed immediately with HTTP 429 and
+// a Retry-After hint instead of convoying behind the coordinator lock (and
+// the group-commit queue) unboundedly. Shed requests are counted on the
+// wf_admission_shed_total family. limit ≤ 0 returns next unchanged.
+func Admission(m *Metrics, limit int, next http.Handler) http.Handler {
+	if limit <= 0 {
+		return next
+	}
+	slots := make(chan struct{}, limit)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+			next.ServeHTTP(w, r)
+		default:
+			m.shed()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Errorf("overloaded: %d submissions in flight, retry later", limit))
+		}
+	})
+}
+
 // Recovery turns a handler panic into a 500 JSON error instead of killing
 // the serving goroutine's connection (and, for panics escaping ServeHTTP
 // in other setups, the process). http.ErrAbortHandler is re-panicked per

@@ -11,13 +11,16 @@ import (
 // summary of the coordinator (what /metrics exposes as raw families,
 // /statusz condenses into one readable object).
 type Statusz struct {
-	Workflow      string         `json:"workflow"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Events        int            `json:"events"`
-	Durable       bool           `json:"durable"`
-	Ready         string         `json:"ready"` // "ok" or the readiness error
-	Guards        map[string]int `json:"guards,omitempty"`
-	Subscribers   int            `json:"subscribers"`
+	Workflow      string  `json:"workflow"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Events        int     `json:"events"`
+	Durable       bool    `json:"durable"`
+	// CommitQueueDepth is the group-commit backlog: records buffered in the
+	// WAL and awaiting their batch fsync (0 for in-memory coordinators).
+	CommitQueueDepth int            `json:"commit_queue_depth"`
+	Ready            string         `json:"ready"` // "ok" or the readiness error
+	Guards           map[string]int `json:"guards,omitempty"`
+	Subscribers      int            `json:"subscribers"`
 	// DroppedNotifications surfaces notifications lost to slow subscribers
 	// — previously counted silently — total and attributed per peer.
 	DroppedNotifications DroppedNotifications `json:"dropped_notifications"`
@@ -38,13 +41,14 @@ func StatuszHandler(c *Coordinator, reg *obs.Registry) http.Handler {
 	start := time.Now()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		st := Statusz{
-			Workflow:      c.Name(),
-			UptimeSeconds: time.Since(start).Seconds(),
-			Events:        c.Len(),
-			Durable:       c.Durable(),
-			Ready:         "ok",
-			Guards:        c.Guards(),
-			Subscribers:   c.Subscribers(),
+			Workflow:         c.Name(),
+			UptimeSeconds:    time.Since(start).Seconds(),
+			Events:           c.Len(),
+			Durable:          c.Durable(),
+			CommitQueueDepth: c.CommitQueueDepth(),
+			Ready:            "ok",
+			Guards:           c.Guards(),
+			Subscribers:      c.Subscribers(),
 			DroppedNotifications: DroppedNotifications{
 				Total:  c.Dropped(),
 				ByPeer: c.DroppedByPeer(),

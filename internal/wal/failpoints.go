@@ -1,6 +1,9 @@
 package wal
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Failpoints injects failures into a Log for crash and fault testing:
 // appends that fail before touching disk, partial writes (a record torn
@@ -16,6 +19,9 @@ type Failpoints struct {
 	partial map[int]int
 	// nextSync is returned (and cleared) by the next sync attempt.
 	nextSync error
+	// slowSync delays every sync attempt; used to force group-commit
+	// batching deterministically in tests.
+	slowSync time.Duration
 }
 
 // NewFailpoints returns an empty failpoint set.
@@ -47,6 +53,15 @@ func (fp *Failpoints) FailNextSync(err error) {
 	fp.nextSync = err
 }
 
+// SlowSync delays every sync attempt by d until disarmed (d = 0 or Reset).
+// Tests use it to hold one group fsync open while more submissions arrive,
+// forcing them to coalesce into the next batch.
+func (fp *Failpoints) SlowSync(d time.Duration) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.slowSync = d
+}
+
 // Reset disarms every failpoint.
 func (fp *Failpoints) Reset() {
 	fp.mu.Lock()
@@ -54,6 +69,7 @@ func (fp *Failpoints) Reset() {
 	fp.failBefore = make(map[int]error)
 	fp.partial = make(map[int]int)
 	fp.nextSync = nil
+	fp.slowSync = 0
 }
 
 func (fp *Failpoints) beforeAppend(seq int) error {
@@ -88,4 +104,15 @@ func (fp *Failpoints) syncErr() error {
 	err := fp.nextSync
 	fp.nextSync = nil
 	return err
+}
+
+// slowSyncDelay sleeps for the armed SlowSync duration (no-op when
+// disarmed). Called off-lock by the sync path.
+func (fp *Failpoints) slowSyncDelay() {
+	fp.mu.Lock()
+	d := fp.slowSync
+	fp.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
 }

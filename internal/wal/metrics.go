@@ -23,6 +23,10 @@ type walMetrics struct {
 	replayedRecs  *obs.Gauge
 	tornBytes     *obs.Counter
 	failpointTrip *obs.Counter
+	groupCommits  *obs.Counter
+	batchSize     *obs.Histogram
+	pendingRecs   *obs.Gauge
+	idleFlushes   *obs.Counter
 }
 
 func newWALMetrics(reg *obs.Registry) *walMetrics {
@@ -56,6 +60,15 @@ func newWALMetrics(reg *obs.Registry) *walMetrics {
 			"Trailing bytes truncated as torn records at Open."),
 		failpointTrip: reg.Counter("wf_wal_failpoint_trips_total",
 			"Injected WAL faults that fired (tests and fault drills)."),
+		groupCommits: reg.Counter("wf_wal_group_commits_total",
+			"Group-commit batches made durable with a single fsync."),
+		batchSize: reg.Histogram("wf_wal_group_commit_batch_size",
+			"Records per group-commit fsync batch.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		pendingRecs: reg.Gauge("wf_wal_pending_records",
+			"Buffered records awaiting their group fsync (commit-queue depth)."),
+		idleFlushes: reg.Counter("wf_wal_idle_flush_total",
+			"Timer-driven fsyncs of an idle dirty tail under the interval policy."),
 	}
 }
 
@@ -111,4 +124,34 @@ func (m *walMetrics) recordFailpoint() {
 		return
 	}
 	m.failpointTrip.Inc()
+}
+
+func (m *walMetrics) recordGroupCommit(n int) {
+	if m == nil {
+		return
+	}
+	m.groupCommits.Inc()
+	m.batchSize.Observe(float64(n))
+	m.appended.Add(int64(n))
+}
+
+func (m *walMetrics) recordPending(n int) {
+	if m == nil {
+		return
+	}
+	m.pendingRecs.Set(float64(n))
+}
+
+func (m *walMetrics) recordIdleFlush() {
+	if m == nil {
+		return
+	}
+	m.idleFlushes.Inc()
+}
+
+func (m *walMetrics) recordAppendErrors(n int) {
+	if m == nil {
+		return
+	}
+	m.appendErrors.Add(int64(n))
 }

@@ -10,6 +10,19 @@
 // event's record (and, under the "always" policy, fsyncs it) before the
 // event becomes observable to any peer. If Append fails the caller must
 // roll the in-memory state back, so memory never runs ahead of disk.
+//
+// Two append paths implement that discipline:
+//
+//   - AppendCtx writes and (policy permitting) fsyncs synchronously, under
+//     the log lock — one fsync per record under SyncAlways.
+//   - AppendBuffered writes the record into the log file and returns a
+//     *Commit future immediately; a dedicated committer goroutine coalesces
+//     every record buffered while the previous fsync was in flight into ONE
+//     fsync (group commit) and resolves the whole batch at once. A failed
+//     group sync truncates the file back to the durable prefix, fails every
+//     queued commit, and stalls the log until the caller realigns its
+//     in-memory state (Truncate the run back to Accepted()) and calls
+//     Resume — so a crash or I/O error can never leave a sequence gap.
 package wal
 
 import (
@@ -17,6 +30,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -37,7 +51,8 @@ const (
 	SyncAlways SyncPolicy = "always"
 	// SyncInterval fsyncs at most once per Options.SyncInterval; a crash
 	// may lose the records appended since the last sync (they are still
-	// valid on disk unless the OS lost them).
+	// valid on disk unless the OS lost them). A background flush timer
+	// bounds the window even when no further appends arrive.
 	SyncInterval SyncPolicy = "interval"
 	// SyncNever leaves syncing to the OS page cache.
 	SyncNever SyncPolicy = "never"
@@ -51,6 +66,11 @@ func ParsePolicy(s string) (SyncPolicy, error) {
 	}
 	return "", fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
 }
+
+// ErrBusy is returned by WriteSnapshot while buffered commits are awaiting
+// their group fsync: resetting the log file then would wipe bytes that
+// in-flight submissions still need. Retry once the queue drains.
+var ErrBusy = errors.New("wal: commits in flight, snapshot deferred")
 
 // Record is one durable entry: the event's absolute position in the run
 // plus its serialized form. The sequence number makes replay idempotent —
@@ -79,6 +99,9 @@ type Options struct {
 	// SyncInterval is the maximum time between fsyncs under SyncInterval;
 	// zero means 100ms.
 	SyncInterval time.Duration
+	// MaxBatch caps how many buffered records one group fsync commits;
+	// ≤ 0 means unbounded (every record queued when the committer wakes).
+	MaxBatch int
 	// Failpoints, when non-nil, lets tests inject write, partial-write and
 	// sync failures.
 	Failpoints *Failpoints
@@ -93,19 +116,83 @@ const (
 	snapshotName = "snapshot.json"
 )
 
+// Commit is the future for a buffered append: it resolves once the record's
+// batch has been fsynced (or the group sync failed). Appends under relaxed
+// policies (SyncInterval, SyncNever) return an already-resolved Commit.
+type Commit struct {
+	seq   int
+	ready chan struct{}
+	err   error
+	batch int
+	// ctx is the submitter's context at append time; the committer starts
+	// its wal.fsync span from the FIRST commit of the batch so the group
+	// sync appears in that submitter's trace (the span must be a child of a
+	// still-open span — the submitter blocks in Wait until we resolve).
+	ctx context.Context
+}
+
+// Wait blocks until the commit's batch is durable (or failed) and returns
+// the batch outcome.
+func (c *Commit) Wait() error {
+	<-c.ready
+	return c.err
+}
+
+// Done returns a channel closed when the commit has resolved.
+func (c *Commit) Done() <-chan struct{} { return c.ready }
+
+// Err returns the commit outcome; only valid after Wait or Done.
+func (c *Commit) Err() error { return c.err }
+
+// BatchSize reports how many records the resolving fsync covered (1 for
+// synchronous and policy-relaxed appends). Only valid after Wait or Done.
+func (c *Commit) BatchSize() int { return c.batch }
+
+// resolvedCommit returns a Commit that is already done.
+func resolvedCommit(seq int, err error) *Commit {
+	ch := make(chan struct{})
+	close(ch)
+	return &Commit{seq: seq, ready: ch, err: err, batch: 1}
+}
+
 // Log is an append-only write-ahead log rooted at a directory, holding
 // wal.log (JSON lines of Records) and snapshot.json. Safe for concurrent
 // use.
 type Log struct {
 	mu   sync.Mutex
+	cond *sync.Cond // signals committer/Flush waiters; tied to mu
 	dir  string
 	f    *os.File
 	opts Options
 
 	// end is the offset of the end of the last fully-written record; a
 	// failed append truncates back to it.
-	end      int64
+	end int64
+	// durable is the offset covered by the last successful fsync; a failed
+	// group sync truncates the file back to it.
+	durable int64
+	// dirty is set when bytes past durable have been written; the idle
+	// flush timer (SyncInterval) only syncs a dirty log.
+	dirty    bool
 	lastSync time.Time
+	// accepted counts records the log considers accepted: durable under
+	// SyncAlways, written under the relaxed policies. After a failed group
+	// sync the caller must truncate its in-memory run to this length.
+	accepted int
+	// pending holds buffered commits awaiting the next group fsync.
+	pending []*Commit
+	// syncing is true while the committer holds a batch off-lock.
+	syncing bool
+	// stalled is set after a failed group sync: appends are refused until
+	// the caller realigns (rolls its state back to Accepted) and Resumes.
+	stalled error
+	closing bool
+	// committerDone / flusherDone are closed when the respective background
+	// goroutine exits (committer under SyncAlways, flusher under
+	// SyncInterval).
+	committerDone chan struct{}
+	flusherDone   chan struct{}
+	flusherStop   chan struct{}
 	// broken is set when an append failed AND the repair truncate failed
 	// too: the on-disk tail is untrusted and the log refuses further
 	// appends.
@@ -135,6 +222,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	start := time.Now()
 	l := &Log{dir: dir, opts: opts, m: newWALMetrics(opts.Metrics)}
+	l.cond = sync.NewCond(&l.mu)
 	if err := l.loadSnapshot(); err != nil {
 		return nil, err
 	}
@@ -150,6 +238,24 @@ func Open(dir string, opts Options) (*Log, error) {
 	if _, err := f.Seek(l.end, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.durable = l.end
+	if l.loadedSnapshot != nil {
+		l.accepted = l.loadedSnapshot.Len
+	}
+	for _, rec := range l.loadedTail {
+		if rec.Seq+1 > l.accepted {
+			l.accepted = rec.Seq + 1
+		}
+	}
+	switch opts.Sync {
+	case SyncAlways:
+		l.committerDone = make(chan struct{})
+		go l.committer()
+	case SyncInterval:
+		l.flusherDone = make(chan struct{})
+		l.flusherStop = make(chan struct{})
+		go l.flusher()
 	}
 	l.m.recordOpen(time.Since(start), len(l.loadedTail), l.tornBytes)
 	return l, nil
@@ -246,20 +352,90 @@ func (l *Log) AppendCtx(ctx context.Context, rec Record) (err error) {
 	}()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	n, err := l.writeLocked(sp, rec)
+	if err != nil {
+		return err
+	}
+	if err := l.maybeSync(ctx); err != nil {
+		// The record may not be durable; take it back so memory and disk
+		// agree that it was never accepted.
+		l.end -= int64(n)
+		l.m.recordAppend(false)
+		return l.repair(err)
+	}
+	l.accepted = rec.Seq + 1
+	l.m.recordAppend(true)
+	return nil
+}
+
+// AppendBuffered writes one record into the log file and returns a Commit
+// future that resolves once the record is durable. Under SyncAlways the
+// fsync is delegated to the committer goroutine, which coalesces every
+// record buffered while the previous sync was in flight into one group
+// fsync; under the relaxed policies the returned Commit is already
+// resolved (durability is best-effort by policy, exactly as AppendCtx).
+//
+// On a write failure nothing of the record remains on disk and no future is
+// returned. On a GROUP SYNC failure every commit in the batch (and every
+// commit queued behind it) resolves with the error, the file is truncated
+// back to the durable prefix, and the log stalls: further appends are
+// refused until the caller rolls its in-memory state back to Accepted()
+// events and calls Resume.
+func (l *Log) AppendBuffered(ctx context.Context, rec Record) (cm *Commit, err error) {
+	_, sp := obs.StartSpan(ctx, "wal.append")
+	sp.SetAttr("seq", rec.Seq)
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.writeLocked(sp, rec); err != nil {
+		return nil, err
+	}
+	if l.opts.Sync != SyncAlways {
+		// Relaxed policies: the record is accepted as soon as it is
+		// buffered; interval syncing is handled by maybeSync + the idle
+		// flush timer. A failed interval sync is not fatal to the append —
+		// the bytes are already written and the policy tolerates loss
+		// (the fsync-error counter records it).
+		_ = l.maybeSync(ctx)
+		l.accepted = rec.Seq + 1
+		l.m.recordAppend(true)
+		return resolvedCommit(rec.Seq, nil), nil
+	}
+	cm = &Commit{seq: rec.Seq, ready: make(chan struct{}), ctx: ctx}
+	l.pending = append(l.pending, cm)
+	l.m.recordPending(len(l.pending))
+	l.cond.Broadcast()
+	return cm, nil
+}
+
+// writeLocked validates, encodes and writes one record at the buffered tail,
+// advancing end and dirty on success. Write-path failpoints (FailAppend,
+// TornWrite) fire here; a partial write is repaired by truncating back to
+// the last complete record. Called with the lock held.
+func (l *Log) writeLocked(sp *obs.Span, rec Record) (int, error) {
 	if l.broken != nil {
-		return fmt.Errorf("wal: log is broken: %w", l.broken)
+		return 0, fmt.Errorf("wal: log is broken: %w", l.broken)
+	}
+	if l.stalled != nil {
+		return 0, fmt.Errorf("wal: log stalled after failed group sync (resume required): %w", l.stalled)
+	}
+	if l.closing {
+		return 0, fmt.Errorf("wal: log is closed")
 	}
 	if fp := l.opts.Failpoints; fp != nil {
 		if err := fp.beforeAppend(rec.Seq); err != nil {
 			l.m.recordFailpoint()
 			l.m.recordAppend(false)
-			return err
+			return 0, err
 		}
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		l.m.recordAppend(false)
-		return fmt.Errorf("wal: %w", err)
+		return 0, fmt.Errorf("wal: %w", err)
 	}
 	line = append(line, '\n')
 	sp.SetAttr("bytes", len(line))
@@ -270,22 +446,190 @@ func (l *Log) AppendCtx(ctx context.Context, rec Record) (err error) {
 			l.m.recordFailpoint()
 			l.m.recordAppend(false)
 			_, _ = l.f.Write(line[:n])
-			return l.repair(fmt.Errorf("wal: injected partial write after %d bytes", n))
+			return 0, l.repair(fmt.Errorf("wal: injected partial write after %d bytes", n))
 		}
 	}
 	if _, err := l.f.Write(line); err != nil {
 		l.m.recordAppend(false)
-		return l.repair(fmt.Errorf("wal: %w", err))
-	}
-	if err := l.maybeSync(ctx); err != nil {
-		// The record may not be durable; take it back so memory and disk
-		// agree that it was never accepted.
-		l.m.recordAppend(false)
-		return l.repair(err)
+		return 0, l.repair(fmt.Errorf("wal: %w", err))
 	}
 	l.end += int64(len(line))
-	l.m.recordAppend(true)
+	l.dirty = true
+	return len(line), nil
+}
+
+// committer runs under SyncAlways: it drains the pending queue in batches,
+// issuing ONE fsync per batch off-lock so appends keep flowing while the
+// disk works, then resolves the whole batch. It exits once the log is
+// closing and the queue is empty.
+func (l *Log) committer() {
+	defer close(l.committerDone)
+	l.mu.Lock()
+	for {
+		for len(l.pending) == 0 && !l.closing {
+			l.cond.Wait()
+		}
+		if len(l.pending) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		batch := l.pending
+		if mb := l.opts.MaxBatch; mb > 0 && len(batch) > mb {
+			batch = batch[:mb]
+		}
+		l.pending = l.pending[len(batch):]
+		l.m.recordPending(len(l.pending))
+		mark := l.end
+		l.syncing = true
+		l.mu.Unlock()
+
+		// The fsync span joins the FIRST submitter's trace: that submitter
+		// is blocked in Wait, so its parent span is still open. End the
+		// span BEFORE resolving the batch, or the trace would complete with
+		// the fsync unfinished.
+		_, sp := obs.StartSpan(batch[0].ctx, "wal.fsync")
+		sp.SetAttr("batch", len(batch))
+		err := l.syncFile()
+		sp.SetError(err)
+		sp.End()
+
+		l.mu.Lock()
+		l.syncing = false
+		if err == nil {
+			if mark > l.durable {
+				l.durable = mark
+			}
+			l.dirty = l.end != l.durable
+			l.lastSync = time.Now()
+			l.accepted = batch[len(batch)-1].seq + 1
+			l.m.recordGroupCommit(len(batch))
+			for _, cm := range batch {
+				cm.err = nil
+				cm.batch = len(batch)
+				close(cm.ready)
+			}
+		} else {
+			// Nothing past the durable prefix can be trusted: truncate it
+			// away so the tail holds no record of an unacknowledged event,
+			// then fail the batch AND everything queued behind it (their
+			// bytes were just cut) and stall until the caller realigns.
+			all := append(batch, l.pending...)
+			l.pending = nil
+			l.m.recordPending(0)
+			if terr := l.f.Truncate(l.durable); terr != nil {
+				l.broken = fmt.Errorf("group sync failed (%v) and truncate failed: %w", err, terr)
+			} else if _, serr := l.f.Seek(l.durable, io.SeekStart); serr != nil {
+				l.broken = fmt.Errorf("group sync failed (%v) and seek failed: %w", err, serr)
+			}
+			l.end = l.durable
+			l.dirty = false
+			l.stalled = err
+			l.m.recordAppendErrors(len(all))
+			for i := len(all) - 1; i >= 0; i-- {
+				all[i].err = fmt.Errorf("wal: group sync failed: %w", err)
+				all[i].batch = len(batch)
+				close(all[i].ready)
+			}
+		}
+		l.cond.Broadcast()
+	}
+}
+
+// syncFile fsyncs the log file without holding the lock. Concurrent
+// appends may be writing past the captured mark; fsync covering more bytes
+// than the mark is harmless (the extra records resolve with a later batch).
+func (l *Log) syncFile() error {
+	if fp := l.opts.Failpoints; fp != nil {
+		fp.slowSyncDelay()
+		if err := fp.syncErr(); err != nil {
+			l.m.recordFailpoint()
+			l.m.recordFsync(0, err)
+			return err
+		}
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		l.m.recordFsync(0, err)
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.m.recordFsync(time.Since(start), nil)
 	return nil
+}
+
+// flusher runs under SyncInterval: it bounds the staleness of an idle tail.
+// maybeSync only fsyncs on the NEXT append, so without this timer the last
+// records of a burst could stay un-durable indefinitely.
+func (l *Log) flusher() {
+	defer close(l.flusherDone)
+	tick := time.NewTicker(l.opts.SyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.flusherStop:
+			return
+		case <-tick.C:
+		}
+		l.mu.Lock()
+		if l.broken == nil && l.dirty && time.Since(l.lastSync) >= l.opts.SyncInterval {
+			// A failed idle flush is not fatal: the records were accepted
+			// under a loss-tolerant policy. The fsync-error counter records
+			// it; the next tick retries.
+			if err := l.syncLocked(context.Background()); err == nil {
+				l.m.recordIdleFlush()
+			}
+		}
+		l.mu.Unlock()
+	}
+}
+
+// Stalled reports the failed-group-sync error while the log is refusing
+// appends, nil otherwise.
+func (l *Log) Stalled() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stalled
+}
+
+// Accepted returns how many records the log considers accepted (durable
+// under SyncAlways, written under relaxed policies). After a stall, the
+// caller must truncate its in-memory state to exactly this many events
+// before calling Resume.
+func (l *Log) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+// Resume clears a stall after the caller has rolled its in-memory state
+// back to the durable prefix; subsequent appends must continue from
+// Accepted().
+func (l *Log) Resume() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stalled = nil
+	l.cond.Broadcast()
+}
+
+// Pending reports the current commit-queue depth: records buffered and
+// awaiting their group fsync.
+func (l *Log) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending)
+}
+
+// Flush blocks until every buffered commit has resolved (durable or
+// failed). It returns the stall error if the queue drained by failing.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for (len(l.pending) > 0 || l.syncing) && l.broken == nil {
+		l.cond.Wait()
+	}
+	if l.broken != nil {
+		return fmt.Errorf("wal: log is broken: %w", l.broken)
+	}
+	return l.stalled
 }
 
 // repair truncates the file back to the last good record after a failed
@@ -321,20 +665,12 @@ func (l *Log) syncLocked(ctx context.Context) (err error) {
 		sp.SetError(err)
 		sp.End()
 	}()
-	if fp := l.opts.Failpoints; fp != nil {
-		if err := fp.syncErr(); err != nil {
-			l.m.recordFailpoint()
-			l.m.recordFsync(0, err)
-			return err
-		}
-	}
-	start := time.Now()
-	if err := l.f.Sync(); err != nil {
-		l.m.recordFsync(0, err)
-		return fmt.Errorf("wal: fsync: %w", err)
+	if err := l.syncFile(); err != nil {
+		return err
 	}
 	l.lastSync = time.Now()
-	l.m.recordFsync(l.lastSync.Sub(start), nil)
+	l.durable = l.end
+	l.dirty = false
 	return nil
 }
 
@@ -355,6 +691,9 @@ func (l *Log) Healthy() error {
 	if l.broken != nil {
 		return fmt.Errorf("wal: log is broken: %w", l.broken)
 	}
+	if l.stalled != nil {
+		return fmt.Errorf("wal: log stalled after failed group sync: %w", l.stalled)
+	}
 	return nil
 }
 
@@ -370,6 +709,10 @@ func (l *Log) WriteSnapshot(snap *Snapshot) error {
 // WriteSnapshotCtx is WriteSnapshot with a caller context: the snapshot
 // write appears as a wal.snapshot span in the caller's trace (e.g. inside
 // the coordinator.submit that crossed the snapshot-every threshold).
+//
+// While buffered commits are in flight it returns ErrBusy without touching
+// anything: the log reset would destroy bytes that unresolved commits still
+// depend on. Callers should Flush first (or simply retry later).
 func (l *Log) WriteSnapshotCtx(ctx context.Context, snap *Snapshot) (err error) {
 	_, sp := obs.StartSpan(ctx, "wal.snapshot")
 	sp.SetAttr("events", snap.Len)
@@ -381,6 +724,15 @@ func (l *Log) WriteSnapshotCtx(ctx context.Context, snap *Snapshot) (err error) 
 	defer l.mu.Unlock()
 	if l.broken != nil {
 		return fmt.Errorf("wal: log is broken: %w", l.broken)
+	}
+	if l.stalled != nil {
+		return fmt.Errorf("wal: log stalled after failed group sync: %w", l.stalled)
+	}
+	if l.closing {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if len(l.pending) > 0 || l.syncing {
+		return ErrBusy
 	}
 	start := time.Now()
 	size := 0
@@ -412,15 +764,35 @@ func (l *Log) WriteSnapshotCtx(ctx context.Context, snap *Snapshot) (err error) 
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.end = 0
+	l.durable = 0
+	l.dirty = false
 	return nil
 }
 
-// Close syncs (best effort when already broken) and closes the log file.
+// Close drains the commit queue, stops the background goroutines, syncs
+// (best effort when already broken or stalled) and closes the log file.
+// Close is idempotent.
 func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closing {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closing = true
+	l.cond.Broadcast()
+	committerDone, flusherDone, flusherStop := l.committerDone, l.flusherDone, l.flusherStop
+	l.mu.Unlock()
+	if committerDone != nil {
+		<-committerDone
+	}
+	if flusherStop != nil {
+		close(flusherStop)
+		<-flusherDone
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var syncErr error
-	if l.broken == nil && l.opts.Sync != SyncNever {
+	if l.broken == nil && l.stalled == nil && l.opts.Sync != SyncNever {
 		syncErr = l.syncLocked(context.Background())
 	}
 	if err := l.f.Close(); err != nil {
