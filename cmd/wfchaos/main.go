@@ -1,0 +1,78 @@
+// Command wfchaos runs the seeded chaos soak from internal/chaos: a fleet
+// of retrying clients drives a durable coordinator over real HTTP while an
+// orchestrator injects WAL faults (failed appends, torn writes, failed
+// group syncs, slow syncs), drops responses after the event applied, and
+// hard-crashes the process image — truncating the unsynced WAL tail to
+// simulate page-cache loss — then recovers and checks the durability,
+// idempotency, notification, and checksum invariants.
+//
+// The run is fully determined by -seed: a CI failure is replayed locally
+// with the seed printed in the summary. The summary is written to stdout
+// as JSON (CI uploads it as an artifact); the exit status is non-zero if
+// any invariant was violated.
+//
+// Usage:
+//
+//	wfchaos [-seed 1] [-ops 400] [-workers 4] [-injections 200]
+//	        [-crash-every 12] [-snapshot-every 32] [-dir ""] [-timeout 5m]
+//	        [-v]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+
+	"collabwf/internal/chaos"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "master seed; a run is fully determined by it")
+	ops := flag.Int("ops", 400, "minimum successful-or-ambiguous submissions to drive")
+	workers := flag.Int("workers", 4, "concurrent retrying clients")
+	injections := flag.Int("injections", 200, "minimum fault injections before stopping")
+	crashEvery := flag.Int("crash-every", 12, "expected injections per crash/recover cycle")
+	snapshotEvery := flag.Int("snapshot-every", 32, "coordinator snapshot threshold (events)")
+	dir := flag.String("dir", "", "data directory (kept after the run); empty means a temp dir, removed on success")
+	timeout := flag.Duration("timeout", 5*time.Minute, "abort the soak after this long")
+	verbose := flag.Bool("v", false, "log injections and recoveries to stderr")
+	flag.Parse()
+
+	var logger *slog.Logger
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	sum, err := chaos.Run(ctx, chaos.Config{
+		Seed:          *seed,
+		Ops:           *ops,
+		Workers:       *workers,
+		Injections:    *injections,
+		CrashEveryN:   *crashEvery,
+		SnapshotEvery: *snapshotEvery,
+		Dir:           *dir,
+		Logger:        logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfchaos: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintf(os.Stderr, "wfchaos: encoding summary: %v\n", err)
+		os.Exit(1)
+	}
+	if len(sum.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "wfchaos: %d invariant violation(s) — replay with -seed %d\n",
+			len(sum.Violations), sum.Seed)
+		os.Exit(2)
+	}
+}

@@ -2,21 +2,31 @@
 // seeded random scheduler, and prints the run together with each peer's
 // view of it.
 //
+// With -server the locally scheduled run is replayed against a remote
+// coordinator (wfserve) through the resilient client: every submission
+// carries an idempotency key and retries transparently on 429/503, so a
+// flaky network or a mid-run server restart cannot double-apply an event.
+// The views are then fetched from the server rather than computed locally.
+//
 // Usage:
 //
 //	wfrun -spec workflow.wf [-steps 20] [-seed 1] [-peer sue]
+//	      [-server http://127.0.0.1:8080]
 //	      [-log-level info] [-log-format auto|text|json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"collabwf/internal/client"
 	"collabwf/internal/engine"
 	"collabwf/internal/obs"
 	"collabwf/internal/parse"
+	"collabwf/internal/program"
 	"collabwf/internal/trace"
 	"collabwf/internal/view"
 
@@ -29,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random scheduler seed")
 	peer := flag.String("peer", "", "print only this peer's view")
 	out := flag.String("out", "", "write the run as a JSON trace to this file")
+	serverURL := flag.String("server", "", "replay the run against this coordinator URL instead of locally")
 	logFlags := obs.RegisterLogFlags(flag.CommandLine, "warn")
 	flag.Parse()
 
@@ -86,6 +97,47 @@ func main() {
 		}
 		fmt.Printf("view at %s:\n  %s\n", p, view.Of(r, p))
 	}
+
+	if *serverURL != "" {
+		if err := replayRemote(*serverURL, spec.Program, r, peers); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// replayRemote submits the locally scheduled run to a remote coordinator
+// through the retrying client, then prints the server's view per peer.
+func replayRemote(base string, prog *program.Program, r *program.Run, peers []schema.Peer) error {
+	cl := client.New(base, client.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := cl.Ready(ctx); err != nil {
+		return fmt.Errorf("server not ready: %w", err)
+	}
+	start := time.Now()
+	for i, rec := range trace.FromRun("", r).Events {
+		rule := prog.Rule(rec.Rule)
+		if rule == nil {
+			return fmt.Errorf("run event %d fires unknown rule %s", i, rec.Rule)
+		}
+		res, err := cl.Submit(ctx, string(rule.Peer), rec.Rule, rec.Valuation)
+		if err != nil {
+			return fmt.Errorf("submitting event %d (%s): %w", i, rec.Rule, err)
+		}
+		if res.Index != i {
+			return fmt.Errorf("server placed event %d at index %d — it already held a run", i, res.Index)
+		}
+	}
+	fmt.Printf("\nreplayed %d events to %s in %s (%d retried attempts)\n",
+		r.Len(), base, time.Since(start).Round(time.Millisecond), cl.Retries())
+	for _, p := range peers {
+		v, err := cl.View(ctx, string(p))
+		if err != nil {
+			return fmt.Errorf("fetching view at %s: %w", p, err)
+		}
+		fmt.Printf("server view at %s:\n  %s\n", p, v)
+	}
+	return nil
 }
 
 func fatal(err error) {

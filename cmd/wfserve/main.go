@@ -16,6 +16,7 @@
 //
 //	wfserve -spec workflow.wf [-addr :8080] [-guard sue=3 -guard bob=2]
 //	        [-data-dir ./data] [-fsync always|interval|never]
+//	        [-wal-strict] [-idem-window 4096]
 //	        [-snapshot-every 256] [-wal-max-batch 64] [-max-inflight 256]
 //	        [-shutdown-timeout 10s]
 //	        [-request-timeout 30s] [-debug-addr :6060]
@@ -73,6 +74,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "maximum /submit body size in bytes")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrent /submit requests before shedding with 429 (0 = unbounded)")
 	walMaxBatch := flag.Int("wal-max-batch", 0, "max records per group-commit fsync batch (0 = unbounded)")
+	walStrict := flag.Bool("wal-strict", false, "refuse to start on a corrupt WAL record instead of truncating at the first bad record")
+	idemWindow := flag.Int("idem-window", 0, "idempotency-key dedupe window in submissions (0 = 4096)")
 	debugAddr := flag.String("debug-addr", "", "debug listener (pprof + /metrics + /debug/traces); empty = disabled")
 	traceSample := flag.String("trace-sample", "always", "trace sampling policy: always, error, slow or off")
 	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "root-span duration threshold for -trace-sample slow")
@@ -125,7 +128,10 @@ func main() {
 			Sync:          policy,
 			SnapshotEvery: *snapshotEvery,
 			MaxBatch:      *walMaxBatch,
+			Strict:        *walStrict,
+			IdemWindow:    *idemWindow,
 			Metrics:       reg,
+			Logger:        logger,
 		})
 		if err != nil {
 			fatal(err)

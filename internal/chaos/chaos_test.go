@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestChaosQuick is the CI-sized seeded soak: a fixed seed, a bounded op
+// and injection budget, and every invariant checked after every recovery.
+// A failure prints the summary — rerun cmd/wfchaos with the same seed to
+// replay it exactly.
+func TestChaosQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	sum, err := Run(ctx, Config{
+		Seed:       42,
+		Ops:        200,
+		Workers:    4,
+		Injections: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos summary: ops=%d acked=%d ambiguous=%d retries=%d injections=%d faults=%v recoveries=%d",
+		sum.Ops, sum.Acked, sum.Ambiguous, sum.Retries, sum.Injections, sum.Faults, sum.Recoveries)
+	for _, v := range sum.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if sum.Injections < 60 {
+		t.Errorf("only %d injections fired, want ≥ 60", sum.Injections)
+	}
+	for _, kind := range []string{FaultFailAppend, FaultTornWrite, FaultFailedSync, FaultCrashRecover} {
+		if sum.Faults[kind] == 0 {
+			t.Errorf("fault type %s never fired", kind)
+		}
+	}
+	if sum.Recoveries < 2 {
+		t.Errorf("only %d recoveries, want ≥ 2", sum.Recoveries)
+	}
+	if sum.Acked == 0 {
+		t.Error("no operation was ever acknowledged — the harness made no progress")
+	}
+}

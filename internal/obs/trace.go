@@ -15,8 +15,8 @@
 package obs
 
 import (
-	crand "crypto/rand"
 	"context"
+	crand "crypto/rand"
 	"encoding/hex"
 	"fmt"
 	"net/http"

@@ -47,6 +47,14 @@ type Notification struct {
 	Because []int `json:"because,omitempty"`
 }
 
+// ErrUnavailable tags submission failures that are safe to retry: the
+// event is not observable — either its record never reached disk (write
+// failure, failed group sync, shed by shutdown) or, after a crash, its
+// durability is unknown and the idempotency window will dedupe the retry.
+// The HTTP layer maps it to 503 + Retry-After; definite rejections (guard
+// violations, inapplicable rules) stay 409.
+var ErrUnavailable = errors.New("server: temporarily unavailable")
+
 // SubmitResult describes an accepted submission.
 type SubmitResult struct {
 	// Index is the event's position in the global run.
@@ -114,7 +122,18 @@ type Coordinator struct {
 	// lastSnapErr remembers a failed background snapshot (the events are
 	// still safe in the WAL); surfaced via Ready.
 	lastSnapErr error
-	closed      bool
+	// snapRetryArmed is true while a deferred-snapshot retry timer is in
+	// flight (a threshold snapshot hit wal.ErrBusy); see
+	// armSnapshotRetryLocked.
+	snapRetryArmed bool
+	closed         bool
+
+	// idem is the idempotency dedupe state: key → entry, with idemOrder the
+	// FIFO of resolved keys bounding the window to idemMax (see
+	// idempotency.go).
+	idem      map[string]*idemEntry
+	idemOrder []string
+	idemMax   int
 }
 
 // New starts a coordinator for the program from the empty instance.
@@ -129,6 +148,7 @@ func New(name string, p *program.Program) *Coordinator {
 		visCache:      make(map[schema.Peer]*visIndex),
 		subs:          make(map[schema.Peer]map[int]chan Notification),
 		droppedByPeer: make(map[schema.Peer]int),
+		idem:          make(map[string]*idemEntry),
 	}
 }
 
@@ -254,6 +274,13 @@ func (c *Coordinator) Submit(peer schema.Peer, ruleName string, bindings map[str
 // durable; a failed batch sync rolls every event of the batch back, in
 // reverse order, before any of them became observable.
 func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName string, bindings map[string]data.Value) (*SubmitResult, error) {
+	return c.submitCtx(ctx, peer, ruleName, bindings, "")
+}
+
+// submitCtx is the submission pipeline shared by SubmitCtx (no key) and
+// SubmitIdemCtx (key reserved by the caller); idemKey rides inside the WAL
+// record so a recovered coordinator can dedupe post-crash retries.
+func (c *Coordinator) submitCtx(ctx context.Context, peer schema.Peer, ruleName string, bindings map[string]data.Value, idemKey string) (*SubmitResult, error) {
 	ctx, sp := obs.StartSpan(ctx, "coordinator.submit")
 	sp.SetAttr("peer", string(peer))
 	sp.SetAttr("rule", ruleName)
@@ -266,7 +293,7 @@ func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName 
 	defer c.mu.Unlock()
 	if c.closed {
 		c.metrics.rejected("closed")
-		return reject(fmt.Errorf("server: coordinator is shut down"))
+		return reject(fmt.Errorf("%w: coordinator is shut down", ErrUnavailable))
 	}
 	rl := c.prog.Rule(ruleName)
 	if rl == nil {
@@ -323,7 +350,7 @@ func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName 
 	// Log-before-accept: the event must be durable before any peer can
 	// observe it. A WAL failure rejects the submission and rolls the run
 	// back, so the in-memory state never diverges ahead of disk.
-	rec := wal.Record{Seq: idx, Event: trace.EncodeEvent(e)}
+	rec := wal.Record{Seq: idx, Event: trace.EncodeEvent(e), Idem: idemKey}
 	if c.noGroupCommit {
 		// Pre-batching path: append and fsync synchronously, under the lock.
 		if err := c.log.AppendCtx(ctx, rec); err != nil {
@@ -331,7 +358,7 @@ func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName 
 			c.metrics.rejected("wal")
 			c.logw().ErrorContext(ctx, "event not durable, submission rejected",
 				slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
-			return reject(fmt.Errorf("server: event not durable, rejected: %w", err))
+			return reject(fmt.Errorf("%w: event not durable: %w", ErrUnavailable, err))
 		}
 		c.acceptLocked(ctx, sp, peer, ruleName, idx)
 		c.maybeSnapshotLocked(ctx)
@@ -345,7 +372,7 @@ func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName 
 		c.metrics.rejected("wal")
 		c.logw().ErrorContext(ctx, "event not durable, submission rejected",
 			slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
-		return reject(fmt.Errorf("server: event not durable, rejected: %w", err))
+		return reject(fmt.Errorf("%w: event not durable: %w", ErrUnavailable, err))
 	}
 	select {
 	case <-cm.Done():
@@ -364,6 +391,14 @@ func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName 
 		c.mu.Lock()
 	}
 	if err := cm.Err(); err != nil {
+		if errors.Is(err, wal.ErrCrashed) {
+			// The log died with this commit unresolved: the record may or may
+			// not be durable, so this MUST NOT read as a definite rejection —
+			// a recovered coordinator could hold the event. The client retries
+			// with its idempotency key and the recovered window dedupes.
+			c.metrics.rejected("wal")
+			return reject(fmt.Errorf("%w: commit outcome unknown: %w", ErrUnavailable, err))
+		}
 		// The group sync failed: the WAL already truncated every record
 		// past its durable prefix and stalled. Realign the run (dropping
 		// the same events before any became observable) and resume.
@@ -371,7 +406,7 @@ func (c *Coordinator) SubmitCtx(ctx context.Context, peer schema.Peer, ruleName 
 		c.metrics.rejected("wal")
 		c.logw().ErrorContext(ctx, "event not durable, submission rejected",
 			slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
-		return reject(fmt.Errorf("server: event not durable, rejected: %w", err))
+		return reject(fmt.Errorf("%w: event not durable: %w", ErrUnavailable, err))
 	}
 	sp.SetAttr("batch", cm.BatchSize())
 	c.acceptLocked(ctx, sp, peer, ruleName, idx)
@@ -409,15 +444,90 @@ func (c *Coordinator) releaseLocked(ctx context.Context, idx int) {
 // since the last one. A failed snapshot is not fatal — the events are safe
 // in the WAL and recovery just replays a longer tail — but it is remembered
 // and surfaced via Ready. wal.ErrBusy (commits still in flight) is not a
-// failure: the attempt is simply retried on a later submission once the
-// commit queue has drained.
+// failure either: the attempt is re-armed on a short-backoff timer, so a
+// deferred snapshot lands as soon as the commit queue drains instead of
+// waiting for the next threshold crossing (the WAL counts each deferral on
+// wf_wal_snapshot_deferred_total).
 func (c *Coordinator) maybeSnapshotLocked(ctx context.Context) {
 	if c.closed || c.snapshotEvery <= 0 || c.sinceSnapshot < c.snapshotEvery {
 		return
 	}
-	if err := c.writeSnapshotLocked(ctx); err != nil && !errors.Is(err, wal.ErrBusy) {
+	switch err := c.writeSnapshotLocked(ctx); {
+	case err == nil:
+	case errors.Is(err, wal.ErrBusy):
+		c.armSnapshotRetryLocked(10 * time.Millisecond)
+	default:
 		c.lastSnapErr = err
 	}
+}
+
+// armSnapshotRetryLocked schedules one retry of a busy-deferred snapshot
+// after delay, doubling (capped at 500ms) while the commit queue stays
+// busy. At most one timer is in flight; a threshold snapshot that lands in
+// the meantime resets sinceSnapshot and the retry becomes a no-op. Callers
+// hold the lock.
+func (c *Coordinator) armSnapshotRetryLocked(delay time.Duration) {
+	if c.snapRetryArmed {
+		return
+	}
+	c.snapRetryArmed = true
+	time.AfterFunc(delay, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.snapRetryArmed = false
+		if c.closed || c.snapshotEvery <= 0 || c.sinceSnapshot < c.snapshotEvery {
+			return
+		}
+		switch err := c.writeSnapshotLocked(context.Background()); {
+		case err == nil:
+		case errors.Is(err, wal.ErrBusy):
+			next := delay * 2
+			if next > 500*time.Millisecond {
+				next = 500 * time.Millisecond
+			}
+			c.armSnapshotRetryLocked(next)
+		default:
+			c.lastSnapErr = err
+		}
+	})
+}
+
+// RetryAfterHint derives an honest Retry-After (in whole seconds) from the
+// durability backlog: the expected drain time of the commit queue at the
+// recent per-fsync latency, clamped to [1, 30]. In-memory coordinators and
+// an idle queue answer the minimum.
+func (c *Coordinator) RetryAfterHint() int {
+	c.mu.Lock()
+	log := c.log
+	c.mu.Unlock()
+	if log == nil {
+		return 1
+	}
+	est := time.Duration(log.Pending()+1) * log.SyncLatency()
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
+}
+
+// WALStalled reports the failed-group-sync error while the WAL is refusing
+// appends, "" when healthy (or in-memory). Surfaced on /statusz so a stall
+// that outlives its submitters is visible to operators, not only in logs.
+func (c *Coordinator) WALStalled() string {
+	c.mu.Lock()
+	log := c.log
+	c.mu.Unlock()
+	if log == nil {
+		return ""
+	}
+	if err := log.Stalled(); err != nil {
+		return err.Error()
+	}
+	return ""
 }
 
 // handleWALStallLocked realigns the coordinator after a failed group sync:

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"collabwf/internal/design"
@@ -33,11 +34,21 @@ type DurabilityConfig struct {
 	// Exists for comparison benchmarks (wfbench E16) and escape-hatch
 	// debugging; group commit is the default.
 	NoGroupCommit bool
+	// Strict refuses to start when the WAL holds a corrupt complete record,
+	// instead of the default truncate-at-first-bad-record recovery (the
+	// -wal-strict flag).
+	Strict bool
+	// IdemWindow bounds the idempotency-key dedupe window (submissions
+	// remembered for retry deduplication); ≤ 0 means 4096.
+	IdemWindow int
 	// Failpoints, when non-nil, injects WAL faults (tests only).
 	Failpoints *wal.Failpoints
 	// Metrics, when non-nil, records WAL and recovery telemetry on the
 	// registry (the wf_wal_* and wf_recovery_* families).
 	Metrics *obs.Registry
+	// Logger, when non-nil, lets the WAL report recovery anomalies
+	// (corruption, torn tails) through the "wal" subsystem.
+	Logger *slog.Logger
 }
 
 // NewDurable starts a durable coordinator rooted at cfg.Dir. If the
@@ -56,12 +67,18 @@ func NewDurable(name string, p *program.Program, cfg DurabilityConfig) (*Coordin
 // conditions again, so a tampered log is rejected, not replayed.
 func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinator, error) {
 	start := time.Now()
+	var walLog *slog.Logger
+	if cfg.Logger != nil {
+		walLog = obs.Sub(cfg.Logger, "wal")
+	}
 	log, err := wal.Open(cfg.Dir, wal.Options{
 		Sync:         cfg.Sync,
 		SyncInterval: cfg.SyncInterval,
 		MaxBatch:     cfg.MaxBatch,
+		Strict:       cfg.Strict,
 		Failpoints:   cfg.Failpoints,
 		Metrics:      cfg.Metrics,
+		Logger:       walLog,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -70,6 +87,7 @@ func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinato
 	c.log = log
 	c.snapshotEvery = cfg.SnapshotEvery
 	c.noGroupCommit = cfg.NoGroupCommit
+	c.idemMax = cfg.IdemWindow
 
 	snap := log.LoadedSnapshot()
 	if snap != nil {
@@ -109,6 +127,20 @@ func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinato
 			}
 			c.guards[sp] = h
 			c.guardMonitors[sp] = design.NewMonitor(c.run, sp, h)
+		}
+	}
+	// Rebuild the idempotency window: the snapshot's window first (oldest
+	// keys, in its FIFO order), then the keys of the replayed tail records —
+	// so a client retrying a submission that was durable before the crash
+	// gets its original index back instead of double-applying.
+	if snap != nil {
+		for _, ie := range snap.Idem {
+			c.addIdemLocked(ie.Key, ie.Index)
+		}
+	}
+	for _, rec := range log.LoadedTail() {
+		if rec.Idem != "" && rec.Seq < c.run.Len() {
+			c.addIdemLocked(rec.Idem, rec.Seq)
 		}
 	}
 	// Everything recovered was durable before the crash: release it all.
@@ -156,6 +188,19 @@ func (c *Coordinator) CommitQueueDepth() int {
 		return 0
 	}
 	return log.Pending()
+}
+
+// WALCorruptRecords reports how many complete-but-corrupt records the WAL
+// dropped at the last Open (0 for in-memory coordinators and clean logs).
+// The chaos harness asserts this stays zero across crash/recover cycles.
+func (c *Coordinator) WALCorruptRecords() int {
+	c.mu.Lock()
+	log := c.log
+	c.mu.Unlock()
+	if log == nil {
+		return 0
+	}
+	return log.CorruptRecords()
 }
 
 // Snapshot forces a snapshot of the current run prefix. In-flight group
@@ -210,6 +255,27 @@ func (c *Coordinator) Close() error {
 	return snapErr
 }
 
+// Crash simulates a hard process kill, for fault drills: no flush, no
+// final snapshot, no release of buffered events. In-flight commits resolve
+// with wal.ErrCrashed (their submitters answer ErrUnavailable — outcome
+// unknown) and the WAL file closes as-is. The returned offsets are the
+// log's durable prefix and written size (see wal.Log.Crash), so a harness
+// can truncate the unsynced tail — simulating page-cache loss — before
+// handing the directory to Recover.
+func (c *Coordinator) Crash() (durable, size int64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, 0, fmt.Errorf("server: coordinator already shut down")
+	}
+	c.closed = true
+	c.closeSubscribersLocked()
+	if c.log == nil {
+		return 0, 0, nil
+	}
+	return c.log.Crash()
+}
+
 // writeSnapshotLocked persists the current run prefix and guards. Callers
 // hold the lock; ctx carries the trace the snapshot should appear in (use
 // context.Background() outside a request).
@@ -223,6 +289,7 @@ func (c *Coordinator) writeSnapshotLocked(ctx context.Context) error {
 		Guards:   guards,
 		Len:      c.run.Len(),
 		Trace:    trace.FromRun(c.name, c.run),
+		Idem:     c.idemWindowLocked(),
 	}
 	if err := c.log.WriteSnapshotCtx(ctx, snap); err != nil {
 		return err

@@ -329,7 +329,7 @@ func TestAdmissionShedsOverLimit(t *testing.T) {
 	m := NewMetrics(reg)
 	enter := make(chan struct{})
 	release := make(chan struct{})
-	h := Admission(m, 1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := Admission(m, 1, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		enter <- struct{}{}
 		<-release
 		w.WriteHeader(http.StatusOK)
@@ -376,7 +376,7 @@ func TestAdmissionShedsOverLimit(t *testing.T) {
 func TestAdmissionUnlimitedPassesThrough(t *testing.T) {
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
 	rec := httptest.NewRecorder()
-	Admission(nil, 0, inner).ServeHTTP(rec, httptest.NewRequest("POST", "/submit", nil))
+	Admission(nil, 0, nil, inner).ServeHTTP(rec, httptest.NewRequest("POST", "/submit", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d, want 200", rec.Code)
 	}

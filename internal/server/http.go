@@ -92,7 +92,7 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 	}
 	// Admission sits innermost on /submit so a shed request is still
 	// traced, logged and counted (as a 4xx) like any other response.
-	handle("/submit", Admission(opts.Metrics, opts.MaxInFlight, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	handle("/submit", Admission(opts.Metrics, opts.MaxInFlight, c.RetryAfterHint, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 			return
@@ -124,8 +124,16 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 		for k, v := range req.Bindings {
 			bindings[k] = data.Value(v)
 		}
-		res, err := c.SubmitCtx(r.Context(), schema.Peer(req.Peer), req.Rule, bindings)
+		res, err := c.SubmitIdemCtx(r.Context(), schema.Peer(req.Peer), req.Rule, bindings,
+			r.Header.Get("Idempotency-Key"))
 		if err != nil {
+			// Retry-safe failures (not durable, crash-ambiguous, shutting
+			// down) are 503 + Retry-After; definite rejections stay 409.
+			if errors.Is(err, ErrUnavailable) {
+				w.Header().Set("Retry-After", strconv.Itoa(c.RetryAfterHint()))
+				httpError(w, http.StatusServiceUnavailable, err)
+				return
+			}
 			httpError(w, http.StatusConflict, err)
 			return
 		}

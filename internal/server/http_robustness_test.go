@@ -202,7 +202,9 @@ func TestGracefulShutdownIntegration(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("readyz after close: status %d", resp.StatusCode)
 	}
-	if code, _ := postSubmit(t, post.URL, `{"peer":"hr","rule":"clear"}`); code != http.StatusConflict {
+	// Shutdown is a retry-safe condition (another replica may be up), so the
+	// refusal is 503 + Retry-After, not a definite 409.
+	if code, _ := postSubmit(t, post.URL, `{"peer":"hr","rule":"clear"}`); code != http.StatusServiceUnavailable {
 		t.Fatalf("submit after close: status %d", code)
 	}
 

@@ -28,6 +28,7 @@ type Metrics struct {
 	submitAccepted *obs.Counter
 	submitRejected obs.CounterVec // reason
 	rollbacks      *obs.Counter
+	idemReplays    *obs.Counter
 	runEvents      *obs.Gauge
 	subscribers    *obs.Gauge
 	notifSent      *obs.Counter
@@ -65,6 +66,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Submissions rejected, by reason (closed, unknown_rule, wrong_peer, not_applicable, guard, wal).", "reason"),
 		rollbacks: reg.Counter("wf_rollbacks_total",
 			"Run rollbacks after a rejected submission (guard violation or WAL failure)."),
+		idemReplays: reg.Counter("wf_idempotent_replays_total",
+			"Retried submissions answered from the idempotency window without re-applying."),
 		runEvents: reg.Gauge("wf_run_events",
 			"Events accepted into the global run so far."),
 		subscribers: reg.Gauge("wf_subscribers",
@@ -117,6 +120,14 @@ func (m *Metrics) accepted(runLen int) {
 func (m *Metrics) shed() {
 	if m != nil {
 		m.admissionShed.Inc()
+	}
+}
+
+// idemReplay records one submission deduped by its idempotency key.
+// Nil-safe.
+func (m *Metrics) idemReplay() {
+	if m != nil {
+		m.idemReplays.Inc()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"collabwf/internal/obs"
@@ -166,9 +167,12 @@ func AccessLog(l *slog.Logger, route string, next http.Handler) http.Handler {
 // Admission bounds how many requests may be past it concurrently: with
 // `limit` in flight, the next request is shed immediately with HTTP 429 and
 // a Retry-After hint instead of convoying behind the coordinator lock (and
-// the group-commit queue) unboundedly. Shed requests are counted on the
-// wf_admission_shed_total family. limit ≤ 0 returns next unchanged.
-func Admission(m *Metrics, limit int, next http.Handler) http.Handler {
+// the group-commit queue) unboundedly. retryAfter supplies the hint in
+// seconds (nil means a constant 1) — wire Coordinator.RetryAfterHint so the
+// hint tracks the commit backlog instead of lying to backed-off clients.
+// Shed requests are counted on the wf_admission_shed_total family. limit
+// ≤ 0 returns next unchanged.
+func Admission(m *Metrics, limit int, retryAfter func() int, next http.Handler) http.Handler {
 	if limit <= 0 {
 		return next
 	}
@@ -180,7 +184,11 @@ func Admission(m *Metrics, limit int, next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 		default:
 			m.shed()
-			w.Header().Set("Retry-After", "1")
+			hint := 1
+			if retryAfter != nil {
+				hint = retryAfter()
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(hint))
 			httpError(w, http.StatusTooManyRequests,
 				fmt.Errorf("overloaded: %d submissions in flight, retry later", limit))
 		}

@@ -17,10 +17,13 @@ type Statusz struct {
 	Durable       bool    `json:"durable"`
 	// CommitQueueDepth is the group-commit backlog: records buffered in the
 	// WAL and awaiting their batch fsync (0 for in-memory coordinators).
-	CommitQueueDepth int            `json:"commit_queue_depth"`
-	Ready            string         `json:"ready"` // "ok" or the readiness error
-	Guards           map[string]int `json:"guards,omitempty"`
-	Subscribers      int            `json:"subscribers"`
+	CommitQueueDepth int    `json:"commit_queue_depth"`
+	Ready            string `json:"ready"` // "ok" or the readiness error
+	// WALStalled carries the failed-group-sync error while the WAL refuses
+	// appends (pending realign + Resume); "" when healthy.
+	WALStalled  string         `json:"wal_stalled,omitempty"`
+	Guards      map[string]int `json:"guards,omitempty"`
+	Subscribers int            `json:"subscribers"`
 	// DroppedNotifications surfaces notifications lost to slow subscribers
 	// — previously counted silently — total and attributed per peer.
 	DroppedNotifications DroppedNotifications `json:"dropped_notifications"`
@@ -47,6 +50,7 @@ func StatuszHandler(c *Coordinator, reg *obs.Registry) http.Handler {
 			Durable:          c.Durable(),
 			CommitQueueDepth: c.CommitQueueDepth(),
 			Ready:            "ok",
+			WALStalled:       c.WALStalled(),
 			Guards:           c.Guards(),
 			Subscribers:      c.Subscribers(),
 			DroppedNotifications: DroppedNotifications{

@@ -27,6 +27,8 @@ type walMetrics struct {
 	batchSize     *obs.Histogram
 	pendingRecs   *obs.Gauge
 	idleFlushes   *obs.Counter
+	corruptRecs   *obs.Counter
+	snapDeferred  *obs.Counter
 }
 
 func newWALMetrics(reg *obs.Registry) *walMetrics {
@@ -69,6 +71,10 @@ func newWALMetrics(reg *obs.Registry) *walMetrics {
 			"Buffered records awaiting their group fsync (commit-queue depth)."),
 		idleFlushes: reg.Counter("wf_wal_idle_flush_total",
 			"Timer-driven fsyncs of an idle dirty tail under the interval policy."),
+		corruptRecs: reg.Counter("wf_wal_corrupt_records_total",
+			"Complete-but-corrupt WAL records detected at Open (checksum or parse failure)."),
+		snapDeferred: reg.Counter("wf_wal_snapshot_deferred_total",
+			"Snapshot attempts deferred because commits were in flight (ErrBusy)."),
 	}
 }
 
@@ -154,4 +160,18 @@ func (m *walMetrics) recordAppendErrors(n int) {
 		return
 	}
 	m.appendErrors.Add(int64(n))
+}
+
+func (m *walMetrics) recordCorrupt() {
+	if m == nil {
+		return
+	}
+	m.corruptRecs.Inc()
+}
+
+func (m *walMetrics) recordSnapshotDeferred() {
+	if m == nil {
+		return
+	}
+	m.snapDeferred.Inc()
 }

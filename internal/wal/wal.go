@@ -32,15 +32,22 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"collabwf/internal/obs"
 	"collabwf/internal/trace"
 )
+
+// castagnoli is the CRC32C polynomial table shared by record and snapshot
+// checksums (the same polynomial storage systems use for on-disk pages).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // SyncPolicy selects when the log fsyncs appended records.
 type SyncPolicy string
@@ -72,6 +79,19 @@ func ParsePolicy(s string) (SyncPolicy, error) {
 // in-flight submissions still need. Retry once the queue drains.
 var ErrBusy = errors.New("wal: commits in flight, snapshot deferred")
 
+// ErrCrashed resolves commits that were still awaiting their group fsync
+// when Crash was called: their records may or may not be durable — exactly
+// the ambiguity a real power cut leaves. Callers must treat the outcome as
+// unknown (retry with an idempotency key), never as a definite rejection.
+var ErrCrashed = errors.New("wal: log crashed before the commit resolved")
+
+// ErrCorrupt tags checksum or parse failures of a COMPLETE record (one that
+// ends in a newline) — silent disk corruption rather than the torn tail of
+// a crash mid-write. Under Options.Strict, Open refuses to start with an
+// error wrapping it; by default the log is truncated at the first corrupt
+// record instead.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
 // Record is one durable entry: the event's absolute position in the run
 // plus its serialized form. The sequence number makes replay idempotent —
 // records already covered by the snapshot (a crash can land between
@@ -79,6 +99,35 @@ var ErrBusy = errors.New("wal: commits in flight, snapshot deferred")
 type Record struct {
 	Seq   int               `json:"seq"`
 	Event trace.EventRecord `json:"event"`
+	// Idem is the submitter's idempotency key, persisted so that a recovered
+	// coordinator can recognise a client retry of an event that was durable
+	// before the crash. Empty for server-generated or keyless submissions.
+	Idem string `json:"idem,omitempty"`
+	// CRC is the CRC32C of the record's compact JSON encoding with CRC
+	// itself absent (see Checksum). Zero/absent means unchecksummed —
+	// records written by pre-checksum versions still replay.
+	CRC uint32 `json:"crc,omitempty"`
+}
+
+// Checksum computes the record's CRC32C: the checksum of the compact JSON
+// encoding of the record with the CRC field zeroed (and therefore omitted).
+// Go's JSON encoding is deterministic — struct fields in declaration order,
+// map keys sorted — so the value survives a decode/re-encode round trip.
+func (r Record) Checksum() (uint32, error) {
+	r.CRC = 0
+	b, err := json.Marshal(r)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(b, castagnoli), nil
+}
+
+// IdemEntry maps one idempotency key to the index of the event it produced;
+// the snapshot carries the coordinator's recent window so dedupe survives a
+// snapshot + restart (the covered WAL records are gone after the log reset).
+type IdemEntry struct {
+	Key   string `json:"key"`
+	Index int    `json:"index"`
 }
 
 // Snapshot is the durable prefix of a coordinator: the replayable trace of
@@ -90,6 +139,24 @@ type Snapshot struct {
 	Guards   map[string]int `json:"guards,omitempty"`
 	Len      int            `json:"len"`
 	Trace    *trace.Trace   `json:"trace"`
+	// Idem is the recent idempotency-key window at snapshot time.
+	Idem []IdemEntry `json:"idem,omitempty"`
+	// CRC is the whole-file checksum: the CRC32C of the snapshot's COMPACT
+	// JSON encoding with CRC absent, so it is independent of indentation.
+	// Zero/absent means unchecksummed (pre-checksum snapshots still load).
+	CRC uint32 `json:"crc,omitempty"`
+}
+
+// Checksum computes the snapshot's CRC32C the same way Record.Checksum
+// does: over the compact encoding with the CRC field zeroed.
+func (s *Snapshot) Checksum() (uint32, error) {
+	c := *s
+	c.CRC = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(b, castagnoli), nil
 }
 
 // Options configures a Log.
@@ -102,6 +169,12 @@ type Options struct {
 	// MaxBatch caps how many buffered records one group fsync commits;
 	// ≤ 0 means unbounded (every record queued when the committer wakes).
 	MaxBatch int
+	// Strict refuses to open a log that contains a corrupt complete record
+	// (checksum mismatch or unparseable line followed by a newline) instead
+	// of truncating the log at the first bad record. Torn trailing records
+	// — the ordinary signature of a crash mid-write — are truncated under
+	// either policy; Strict only changes how silent corruption is handled.
+	Strict bool
 	// Failpoints, when non-nil, lets tests inject write, partial-write and
 	// sync failures.
 	Failpoints *Failpoints
@@ -109,6 +182,9 @@ type Options struct {
 	// registry and records appends, fsyncs, snapshots, recovery and
 	// injected faults.
 	Metrics *obs.Registry
+	// Logger, when non-nil, reports recovery anomalies (corruption, torn
+	// tails) — silent by default.
+	Logger *slog.Logger
 }
 
 const (
@@ -201,10 +277,26 @@ type Log struct {
 	loadedSnapshot *Snapshot
 	loadedTail     []Record
 	tornBytes      int64
+	// corruptRecords counts complete records dropped at Open for failing
+	// their checksum or parse (default policy only; Strict refuses instead).
+	corruptRecords int
+
+	// syncEWMA is a decaying average of successful fsync latency in
+	// nanoseconds, updated off-lock by the sync path and read by
+	// SyncLatency (adaptive Retry-After hints).
+	syncEWMA atomic.Int64
 
 	// m records durability telemetry; nil (and silent) without
 	// Options.Metrics.
 	m *walMetrics
+}
+
+// logw returns the configured logger, or a discard logger.
+func (l *Log) logw() *slog.Logger {
+	if l.opts.Logger != nil {
+		return l.opts.Logger
+	}
+	return obs.Discard()
 }
 
 // Open opens (creating if necessary) the log rooted at dir, loading the
@@ -261,7 +353,10 @@ func Open(dir string, opts Options) (*Log, error) {
 	return l, nil
 }
 
-// loadSnapshot reads snapshot.json if present.
+// loadSnapshot reads snapshot.json if present, verifying its whole-file
+// checksum when one is recorded. A corrupt snapshot is always fatal — it
+// cannot be partially used the way a log tail can be truncated — so both
+// the default and the strict policy refuse to start on one.
 func (l *Log) loadSnapshot() error {
 	data, err := os.ReadFile(filepath.Join(l.dir, snapshotName))
 	if os.IsNotExist(err) {
@@ -274,12 +369,45 @@ func (l *Log) loadSnapshot() error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return fmt.Errorf("wal: corrupt snapshot (rename is atomic; this is not crash damage): %w", err)
 	}
+	if s.CRC != 0 {
+		want, err := s.Checksum()
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if want != s.CRC {
+			return fmt.Errorf("wal: corrupt snapshot: checksum mismatch (stored %08x, computed %08x): %w", s.CRC, want, ErrCorrupt)
+		}
+	}
 	l.loadedSnapshot = &s
 	return nil
 }
 
-// scan reads the record lines, keeping the offset of the last good record
-// and truncating anything after it (a torn final write, or garbage).
+// verifyRecord parses one complete log line, checking the record checksum
+// when one is present.
+func verifyRecord(line []byte) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(bytes.TrimSpace(line), &rec); err != nil {
+		return rec, fmt.Errorf("%w: parse: %v", ErrCorrupt, err)
+	}
+	if rec.CRC != 0 {
+		want, err := rec.Checksum()
+		if err != nil {
+			return rec, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if want != rec.CRC {
+			return rec, fmt.Errorf("%w: seq %d checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, rec.Seq, rec.CRC, want)
+		}
+	}
+	return rec, nil
+}
+
+// scan reads the record lines, keeping the offset of the last good record.
+// A final line without its newline is a torn record (crash mid-write) and
+// is truncated under either policy. A COMPLETE line that fails to parse or
+// fails its checksum is silent corruption: by default the log is truncated
+// at the first bad record — loudly, with the corrupt-record counter bumped
+// — while Options.Strict refuses to open (leaving the file untouched for
+// inspection).
 func (l *Log) scan() error {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -291,6 +419,7 @@ func (l *Log) scan() error {
 	size := fi.Size()
 	r := bufio.NewReader(l.f)
 	var off int64
+	var corrupt error
 	for {
 		line, err := r.ReadBytes('\n')
 		if err == io.EOF {
@@ -300,13 +429,26 @@ func (l *Log) scan() error {
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
-		var rec Record
-		if uerr := json.Unmarshal(bytes.TrimSpace(line), &rec); uerr != nil {
-			// Corrupt interior line: everything from here on is untrusted.
+		rec, verr := verifyRecord(line)
+		if verr != nil {
+			// Everything from the corrupt record on is untrusted.
+			corrupt = verr
 			break
 		}
 		l.loadedTail = append(l.loadedTail, rec)
 		off += int64(len(line))
+	}
+	if corrupt != nil {
+		if l.opts.Strict {
+			return fmt.Errorf("wal: corrupt record at offset %d (strict mode, refusing to start; %d clean records precede it): %w", off, len(l.loadedTail), corrupt)
+		}
+		l.corruptRecords++
+		l.m.recordCorrupt()
+		l.logw().Error("corrupt WAL record: truncating log at first bad record",
+			slog.Int64("offset", off),
+			slog.Int64("dropped_bytes", size-off),
+			slog.Int("clean_records", len(l.loadedTail)),
+			slog.Any("error", corrupt))
 	}
 	l.end = off
 	if off < size {
@@ -432,6 +574,12 @@ func (l *Log) writeLocked(sp *obs.Span, rec Record) (int, error) {
 			return 0, err
 		}
 	}
+	crc, err := rec.Checksum()
+	if err != nil {
+		l.m.recordAppend(false)
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	rec.CRC = crc
 	line, err := json.Marshal(rec)
 	if err != nil {
 		l.m.recordAppend(false)
@@ -539,6 +687,9 @@ func (l *Log) committer() {
 // appends may be writing past the captured mark; fsync covering more bytes
 // than the mark is harmless (the extra records resolve with a later batch).
 func (l *Log) syncFile() error {
+	// The clock starts before the failpoints so an injected slow sync reads
+	// as a slow device in the latency metrics and the Retry-After EWMA.
+	start := time.Now()
 	if fp := l.opts.Failpoints; fp != nil {
 		fp.slowSyncDelay()
 		if err := fp.syncErr(); err != nil {
@@ -547,14 +698,30 @@ func (l *Log) syncFile() error {
 			return err
 		}
 	}
-	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.m.recordFsync(0, err)
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
-	l.m.recordFsync(time.Since(start), nil)
+	d := time.Since(start)
+	l.m.recordFsync(d, nil)
+	if old := l.syncEWMA.Load(); old == 0 {
+		l.syncEWMA.Store(int64(d))
+	} else {
+		l.syncEWMA.Store(old - old/4 + int64(d)/4)
+	}
 	return nil
 }
+
+// SyncLatency returns a decaying average of recent successful fsync
+// latency (zero until the first sync completes). The admission layer uses
+// it, together with Pending, to derive an honest Retry-After hint.
+func (l *Log) SyncLatency() time.Duration {
+	return time.Duration(l.syncEWMA.Load())
+}
+
+// CorruptRecords reports how many complete-but-corrupt records were
+// dropped at Open under the default (truncate) policy.
+func (l *Log) CorruptRecords() int { return l.corruptRecords }
 
 // flusher runs under SyncInterval: it bounds the staleness of an idle tail.
 // maybeSync only fsyncs on the NEXT append, so without this timer the last
@@ -732,12 +899,22 @@ func (l *Log) WriteSnapshotCtx(ctx context.Context, snap *Snapshot) (err error) 
 		return fmt.Errorf("wal: log is closed")
 	}
 	if len(l.pending) > 0 || l.syncing {
+		l.m.recordSnapshotDeferred()
 		return ErrBusy
 	}
 	start := time.Now()
 	size := 0
 	defer func() { l.m.recordSnapshot(time.Since(start), size, err) }()
-	data, err := json.MarshalIndent(snap, "", "  ")
+	// Stamp the whole-file checksum on a copy so the caller's snapshot is
+	// not mutated.
+	stamped := *snap
+	stamped.CRC = 0
+	crc, err := stamped.Checksum()
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	stamped.CRC = crc
+	data, err := json.MarshalIndent(&stamped, "", "  ")
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -799,6 +976,52 @@ func (l *Log) Close() error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	return syncErr
+}
+
+// Crash simulates a hard process kill for fault drills: every buffered
+// commit resolves with ErrCrashed (its record may or may not be durable —
+// exactly the ambiguity a power cut leaves), the background goroutines are
+// stopped, and the file is closed WITHOUT a final fsync. It returns the
+// durable offset (covered by the last successful fsync) and the written
+// size at crash time, so a harness can simulate page-cache loss by
+// truncating the file anywhere in [durable, size] before reopening the
+// directory with Open.
+func (l *Log) Crash() (durable, size int64, err error) {
+	l.mu.Lock()
+	if l.closing {
+		durable, size = l.durable, l.end
+		l.mu.Unlock()
+		return durable, size, nil
+	}
+	l.closing = true
+	// Fail the queued commits that no fsync has picked up. A batch the
+	// committer already holds off-lock resolves on its own: if its fsync
+	// completed before the "kill", that durability is real and the commit
+	// rightly reports success.
+	pending := l.pending
+	l.pending = nil
+	l.m.recordPending(0)
+	for i := len(pending) - 1; i >= 0; i-- {
+		pending[i].err = ErrCrashed
+		close(pending[i].ready)
+	}
+	l.cond.Broadcast()
+	committerDone, flusherDone, flusherStop := l.committerDone, l.flusherDone, l.flusherStop
+	l.mu.Unlock()
+	if committerDone != nil {
+		<-committerDone
+	}
+	if flusherStop != nil {
+		close(flusherStop)
+		<-flusherDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	durable, size = l.durable, l.end
+	if cerr := l.f.Close(); cerr != nil {
+		return durable, size, fmt.Errorf("wal: %w", cerr)
+	}
+	return durable, size, nil
 }
 
 // writeFileSync writes data to path and fsyncs it before closing.
