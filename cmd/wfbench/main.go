@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	wfbench [-quick] [-only E3,E5] [-parallel N] [-json f] [-cpuprofile f]
-//	        [-memprofile f] [-trace-out f]
+//	wfbench [-quick] [-only E3,E5] [-parallel N] [-readers N] [-writers N]
+//	        [-json f] [-cpuprofile f] [-memprofile f] [-trace-out f]
 //
 // Alongside the text tables, every run writes a machine-readable JSON
 // report (experiment results, wall times, allocation counts, and the
@@ -37,6 +37,8 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	parallel := flag.Int("parallel", 0, "worker-pool width for the parallel searches (0 = GOMAXPROCS)")
+	readers := flag.Int("readers", 0, "pin E17's reader sweep to this single reader count (0 = default sweep)")
+	writers := flag.Int("writers", 0, "streaming writer count for E17's mixed runs (0 = default, 4)")
 	jsonOut := flag.String("json", "", `machine-readable report file (default BENCH_<timestamp>.json; "off" disables, "-" writes to stdout)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -44,6 +46,8 @@ func main() {
 	flag.Parse()
 
 	bench.Parallelism = *parallel
+	bench.Readers = *readers
+	bench.Writers = *writers
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		tracer = obs.NewTracer(obs.TracerOptions{Policy: obs.SampleAlways, Capacity: 1024, MaxSpans: 4096})

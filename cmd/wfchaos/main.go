@@ -4,7 +4,8 @@
 // group syncs, slow syncs), drops responses after the event applied, and
 // hard-crashes the process image — truncating the unsynced WAL tail to
 // simulate page-cache loss — then recovers and checks the durability,
-// idempotency, notification, and checksum invariants.
+// idempotency, notification, checksum, and reader-consistency invariants
+// (polling readers must see a monotonic, prefix-consistent run throughout).
 //
 // The run is fully determined by -seed: a CI failure is replayed locally
 // with the seed printed in the summary. The summary is written to stdout
@@ -13,7 +14,7 @@
 //
 // Usage:
 //
-//	wfchaos [-seed 1] [-ops 400] [-workers 4] [-injections 200]
+//	wfchaos [-seed 1] [-ops 400] [-workers 4] [-readers 2] [-injections 200]
 //	        [-crash-every 12] [-snapshot-every 32] [-dir ""] [-timeout 5m]
 //	        [-v]
 package main
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "master seed; a run is fully determined by it")
 	ops := flag.Int("ops", 400, "minimum successful-or-ambiguous submissions to drive")
 	workers := flag.Int("workers", 4, "concurrent retrying clients")
+	readers := flag.Int("readers", 2, "polling readers asserting prefix-consistent reads (negative disables)")
 	injections := flag.Int("injections", 200, "minimum fault injections before stopping")
 	crashEvery := flag.Int("crash-every", 12, "expected injections per crash/recover cycle")
 	snapshotEvery := flag.Int("snapshot-every", 32, "coordinator snapshot threshold (events)")
@@ -53,6 +55,7 @@ func main() {
 		Seed:          *seed,
 		Ops:           *ops,
 		Workers:       *workers,
+		Readers:       *readers,
 		Injections:    *injections,
 		CrashEveryN:   *crashEvery,
 		SnapshotEvery: *snapshotEvery,

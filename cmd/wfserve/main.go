@@ -16,7 +16,7 @@
 //
 //	wfserve -spec workflow.wf [-addr :8080] [-guard sue=3 -guard bob=2]
 //	        [-data-dir ./data] [-fsync always|interval|never]
-//	        [-wal-strict] [-idem-window 4096]
+//	        [-wal-strict] [-idem-window 4096] [-locked-reads]
 //	        [-snapshot-every 256] [-wal-max-batch 64] [-max-inflight 256]
 //	        [-shutdown-timeout 10s]
 //	        [-request-timeout 30s] [-debug-addr :6060]
@@ -76,6 +76,7 @@ func main() {
 	walMaxBatch := flag.Int("wal-max-batch", 0, "max records per group-commit fsync batch (0 = unbounded)")
 	walStrict := flag.Bool("wal-strict", false, "refuse to start on a corrupt WAL record instead of truncating at the first bad record")
 	idemWindow := flag.Int("idem-window", 0, "idempotency-key dedupe window in submissions (0 = 4096)")
+	lockedReads := flag.Bool("locked-reads", false, "serve reads through the coordinator mutex instead of the lock-free snapshot (escape hatch)")
 	debugAddr := flag.String("debug-addr", "", "debug listener (pprof + /metrics + /debug/traces); empty = disabled")
 	traceSample := flag.String("trace-sample", "always", "trace sampling policy: always, error, slow or off")
 	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "root-span duration threshold for -trace-sample slow")
@@ -144,6 +145,10 @@ func main() {
 	}
 	metrics := c.Instrument(reg)
 	c.SetLogger(logger)
+	if *lockedReads {
+		c.SetLockedReads(true)
+		fmt.Println("serving reads through the coordinator mutex (-locked-reads)")
+	}
 
 	for _, g := range guards {
 		peer, hs, ok := strings.Cut(g, "=")

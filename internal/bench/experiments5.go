@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"collabwf/internal/server"
+	"collabwf/internal/wal"
+	"collabwf/internal/workload"
+)
+
+// Readers and Writers override E17's client mix (the wfbench -readers and
+// -writers flags): Readers > 0 pins the reader sweep to that single count;
+// Writers > 0 sets the streaming writer count (default 4).
+var (
+	Readers int
+	Writers int
+)
+
+// e17Mixed is one timed mixed read/write run's outcome.
+type e17Mixed struct {
+	readsPerSec  float64
+	writesPerSec float64
+	// latSamples holds sampled per-read-op latencies (every 16th op).
+	latSamples []time.Duration
+}
+
+// E17ReadPath — conclusion: transparency is consumed through reads, so the
+// serving path must not collapse when writes stream. The lock-free read
+// path serves View/Explain/Transitions from an immutable prefix snapshot
+// published at release time; this experiment measures read throughput
+// against the mutex baseline (-locked-reads) under streaming SyncAlways
+// writers, and checks the write path holds its E16 numbers while readers
+// hammer.
+func E17ReadPath(quick bool) (*Table, error) {
+	t := &Table{
+		ID:      "E17",
+		Title:   "lock-free read throughput vs reader count (streaming SyncAlways writers)",
+		Claim:   "conclusion: the master server serves views and explanations at scale, concurrently with updates",
+		Columns: []string{"readers", "locked rd/s", "lockfree rd/s", "read speedup", "writes ev/s", "rd p50 µs", "rd p99 µs"},
+	}
+	// The seeded prefix dominates the run length so per-read cost is the
+	// same in both modes (a mode that starves writers would otherwise read a
+	// shorter — cheaper — run and flatter the baseline); writers drain a
+	// fixed budget so both modes converge on an identical final prefix.
+	readerCounts := []int{1, 2, 4, 8}
+	window := 400 * time.Millisecond
+	seed := 160
+	perWriter := 16
+	if quick {
+		readerCounts = []int{1, 4}
+		window = 150 * time.Millisecond
+		seed = 96
+		perWriter = 8
+	}
+	if Readers > 0 {
+		readerCounts = []int{Readers}
+	}
+	writers := 4
+	if Writers > 0 {
+		writers = Writers
+	}
+	prog := workload.Hiring()
+	peers := prog.Peers()
+
+	// runMixed drives `writers` goroutines streaming durable submits and
+	// `readers` goroutines hammering View/Transitions/Explain for one time
+	// window, on a fresh SyncAlways coordinator seeded with a prefix (so
+	// explanations have content). lockedReads selects the baseline path.
+	runMixed := func(readers int, lockedReads bool) (*e17Mixed, error) {
+		dir, err := os.MkdirTemp("", "wfbench-e17-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		c, err := server.NewDurable("Hiring", prog, server.DurabilityConfig{Dir: dir, Sync: wal.SyncAlways})
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		for i := 0; i < seed; i++ {
+			if _, err := c.Submit("hr", "clear", nil); err != nil {
+				return nil, err
+			}
+		}
+		c.SetLockedReads(lockedReads)
+
+		var stop atomic.Bool
+		var read int64
+		errs := make(chan error, writers+readers)
+		var wg, writersWG sync.WaitGroup
+		writeStart := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			writersWG.Add(1)
+			go func() {
+				defer wg.Done()
+				defer writersWG.Done()
+				for i := 0; i < perWriter; i++ {
+					if _, err := c.Submit("hr", "clear", nil); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		// The write metric is drain rate: how fast the fixed budget lands
+		// while readers hammer (or don't, for the writes-alone baseline).
+		drainCh := make(chan time.Duration, 1)
+		go func() {
+			writersWG.Wait()
+			drainCh <- time.Since(writeStart)
+		}()
+		samples := make([][]time.Duration, readers)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				peer := peers[r%len(peers)]
+				var n int64
+				last := 0 // tail-poll cursor, as a real subscriber would keep
+				for !stop.Load() {
+					begin := time.Now()
+					var err error
+					switch {
+					case n%8 == 7: // the heavy op: full report over the prefix
+						_, err = c.Explain(peer)
+					case n%2 == 0:
+						_, err = c.View(peer)
+					default:
+						_, last, err = c.TransitionsAndLen(peer, last)
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					if n%16 == 0 {
+						samples[r] = append(samples[r], time.Since(begin))
+					}
+					n++
+				}
+				atomic.AddInt64(&read, n)
+			}(r)
+		}
+		time.Sleep(window)
+		stop.Store(true)
+		wg.Wait()
+		drain := <-drainCh
+		close(errs)
+		for err := range errs {
+			return nil, err
+		}
+		out := &e17Mixed{
+			readsPerSec:  float64(read) / window.Seconds(),
+			writesPerSec: float64(writers*perWriter) / drain.Seconds(),
+		}
+		for _, s := range samples {
+			out.latSamples = append(out.latSamples, s...)
+		}
+		return out, nil
+	}
+	// Best-of-2: the suite shares the machine with CI load; take each
+	// configuration's best attempt (as E16 does with best-of-3, shortened
+	// because E17 runs fixed time windows rather than fixed work).
+	run := func(readers int, lockedReads bool) (*e17Mixed, error) {
+		var best *e17Mixed
+		for i := 0; i < 2; i++ {
+			m, err := runMixed(readers, lockedReads)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || m.readsPerSec > best.readsPerSec ||
+				(readers == 0 && m.writesPerSec > best.writesPerSec) {
+				best = m
+			}
+		}
+		return best, nil
+	}
+
+	// Writes-alone baseline: the retention check compares streaming write
+	// throughput with readers hammering against this.
+	alone, err := run(0, false)
+	if err != nil {
+		return nil, fmt.Errorf("E17 writes-alone: %w", err)
+	}
+
+	cores := runtime.GOMAXPROCS(0)
+	var maxMixed *e17Mixed
+	var maxReaders int
+	for _, n := range readerCounts {
+		locked, err := run(n, true)
+		if err != nil {
+			return nil, fmt.Errorf("E17 locked %d readers: %w", n, err)
+		}
+		lockfree, err := run(n, false)
+		if err != nil {
+			return nil, fmt.Errorf("E17 lockfree %d readers: %w", n, err)
+		}
+		speedup := lockfree.readsPerSec / locked.readsPerSec
+		p50 := pctDuration(lockfree.latSamples, 0.50)
+		p99 := pctDuration(lockfree.latSamples, 0.99)
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", locked.readsPerSec), fmt.Sprintf("%.0f", lockfree.readsPerSec),
+			fmt.Sprintf("%.1fx", speedup), fmt.Sprintf("%.0f", lockfree.writesPerSec),
+			fmt.Sprintf("%.1f", float64(p50.Nanoseconds())/1e3),
+			fmt.Sprintf("%.1f", float64(p99.Nanoseconds())/1e3))
+		if n >= maxReaders {
+			maxReaders, maxMixed = n, lockfree
+		}
+		// Regime-aware assertions. Reads on the mutex path serialize behind
+		// each other AND behind every release, so snapshot serving must win
+		// once reader parallelism exists — provided the machine has cores to
+		// run the readers on. Per-regime floors:
+		//   full, ≥8 readers, ≥8 cores: the acceptance criterion, ≥ 3×.
+		//   ≥4 readers, ≥2 cores: lock-free must beat the locked baseline.
+		//   1 core: no parallelism to exploit; reads must merely hold
+		//   parity-with-noise (the snapshot path still wins on cached views,
+		//   but the mutex is uncontended-by-definition).
+		var floor float64
+		switch {
+		case n >= 8 && !quick && cores >= 8:
+			floor = 3.0
+		case n >= 8 && !quick && cores >= 4:
+			floor = 1.3
+		case n >= 4 && cores >= 2:
+			floor = 1.0
+		case n >= 4:
+			floor = 0.75
+		}
+		if floor > 0 && speedup < floor {
+			return nil, fmt.Errorf("E17: lock-free reads %.0f/s vs locked %.0f/s at %d readers (%.1fx < %.1fx floor)",
+				lockfree.readsPerSec, locked.readsPerSec, n, speedup, floor)
+		}
+	}
+
+	// Write retention: lock-free readers never touch the coordinator mutex,
+	// so draining the write budget must hold its writes-alone (E16-shape)
+	// rate. The expectation is ≥ 0.9 given spare cores; the enforced floor
+	// leaves room for scheduling when readers outnumber cores (writers are
+	// fsync-bound, so they keep landing even when readers own the CPU).
+	if maxMixed != nil && alone.writesPerSec > 0 {
+		retention := maxMixed.writesPerSec / alone.writesPerSec
+		var floor float64
+		switch {
+		case !quick && cores >= writers+maxReaders:
+			floor = 0.75
+		case cores >= 4:
+			floor = 0.5
+		case cores > 1:
+			floor = 0.2
+		default:
+			// One core: spinning readers own the CPU between fsync wakeups,
+			// so retention measures the scheduler, not the lock. Require
+			// progress only.
+			floor = 0.02
+		}
+		t.Notef("write retention with %d readers: %.0f%% of writes-alone (%.0f vs %.0f ev/s)",
+			maxReaders, retention*100, maxMixed.writesPerSec, alone.writesPerSec)
+		if retention < floor {
+			return nil, fmt.Errorf("E17: writes collapsed under readers: %.0f ev/s vs %.0f alone (%.0f%% < %.0f%% floor)",
+				maxMixed.writesPerSec, alone.writesPerSec, retention*100, floor*100)
+		}
+	}
+	if maxMixed != nil {
+		SuiteRead = &ReadStats{
+			Readers: maxReaders,
+			Ops:     int64(float64(len(maxMixed.latSamples)) * 16),
+			P50NS:   pctDuration(maxMixed.latSamples, 0.50).Nanoseconds(),
+			P99NS:   pctDuration(maxMixed.latSamples, 0.99).Nanoseconds(),
+		}
+	}
+	t.Notef("reads served from the published snapshot; the locked baseline re-enters the coordinator mutex per read")
+	return t, nil
+}
+
+// pctDuration returns the q-quantile (0..1) of the samples; 0 when empty.
+func pctDuration(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}

@@ -39,6 +39,18 @@ type SearchTotals struct {
 	Scenario     scenario.Stats     `json:"scenario"`
 }
 
+// ReadStats is E17's suite-level read-latency summary: sampled per-read-op
+// latency percentiles on the lock-free path at the largest reader count.
+type ReadStats struct {
+	Readers int   `json:"readers"`
+	Ops     int64 `json:"ops"`
+	P50NS   int64 `json:"p50_ns"`
+	P99NS   int64 `json:"p99_ns"`
+}
+
+// SuiteRead is populated by E17ReadPath and sealed into the report.
+var SuiteRead *ReadStats
+
 // Report is the machine-readable run summary wfbench writes next to its
 // text tables (BENCH_<timestamp>.json by default).
 type Report struct {
@@ -51,6 +63,8 @@ type Report struct {
 	Failed      int          `json:"failed"`
 	Results     []Result     `json:"results"`
 	Search      SearchTotals `json:"search"`
+	// Read carries E17's read-latency percentiles (absent when E17 did not run).
+	Read *ReadStats `json:"read,omitempty"`
 }
 
 // NewReport starts a report for one wfbench invocation.
@@ -109,6 +123,7 @@ func (r *Report) Measure(e Experiment, quick bool) (*Table, error) {
 func (r *Report) Finish() {
 	r.WallNS = time.Since(r.StartedAt).Nanoseconds()
 	r.Search = SearchTotals{Transparency: SuiteSearch, Scenario: SuiteScenario}
+	r.Read = SuiteRead
 }
 
 // Write emits the report as indented JSON.

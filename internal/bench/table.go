@@ -15,7 +15,7 @@ import (
 
 // Table is one experiment's result.
 type Table struct {
-	// ID is the experiment identifier (E1..E16).
+	// ID is the experiment identifier (E1..E17).
 	ID string
 	// Title summarizes the experiment.
 	Title string
@@ -103,5 +103,6 @@ func All() []Experiment {
 		{"E14", E14Coordinator},
 		{"E15", E15ParallelSearch},
 		{"E16", E16GroupCommit},
+		{"E17", E17ReadPath},
 	}
 }

@@ -14,6 +14,10 @@
 //  3. no notification for a rolled-back event (every notified index is in
 //     the recovered run);
 //  4. checksums clean: no WAL record is ever reported corrupt.
+//  5. reader consistency: polling readers observe a monotonically growing
+//     released prefix — the reported length never shrinks (even across
+//     crash/recover) and an index, once observed, never changes content —
+//     and everything they saw matches the final recovered run.
 //
 // Every random choice flows from one seed, so a failing run replays.
 package chaos
@@ -61,6 +65,10 @@ type Config struct {
 	Ops int
 	// Workers is the client fleet size; ≤ 0 means 4.
 	Workers int
+	// Readers is the polling-reader fleet size: clients that loop
+	// /transitions across every fault and crash, asserting monotonic,
+	// prefix-consistent reads (invariant 5); 0 means 2, negative disables.
+	Readers int
 	// Injections is the target fault count; the orchestrator keeps injecting
 	// until the ops are done AND at least this many faults fired; ≤ 0 means
 	// 200.
@@ -79,11 +87,13 @@ type Config struct {
 
 // Summary reports what a chaos run did and found.
 type Summary struct {
-	Seed       int64          `json:"seed"`
-	Ops        int            `json:"ops"`
-	Acked      int            `json:"acked"`
-	Ambiguous  int            `json:"ambiguous"`
-	Retries    int64          `json:"client_retries"`
+	Seed      int64 `json:"seed"`
+	Ops       int   `json:"ops"`
+	Acked     int   `json:"acked"`
+	Ambiguous int   `json:"ambiguous"`
+	Retries   int64 `json:"client_retries"`
+	// Reads counts successful /transitions polls by the reader fleet.
+	Reads      int64          `json:"reads"`
 	Injections int            `json:"injections"`
 	Faults     map[string]int `json:"faults"`
 	Recoveries int            `json:"recoveries"`
@@ -128,6 +138,8 @@ type harness struct {
 
 	// retriesTotal accumulates the fleet's retry counts as workers exit.
 	retriesTotal atomic.Int64
+	// reads counts the reader fleet's successful /transitions polls.
+	reads atomic.Int64
 
 	violations []string
 	vioMu      sync.Mutex
@@ -149,6 +161,12 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
+	}
+	if cfg.Readers == 0 {
+		cfg.Readers = 2
+	}
+	if cfg.Readers < 0 {
+		cfg.Readers = 0
 	}
 	if cfg.Injections <= 0 {
 		cfg.Injections = 200
@@ -252,6 +270,46 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		}(w)
 	}
 
+	// Reader fleet: polling clients that keep reading /transitions across
+	// every fault and crash, recording what they saw (invariant 5). Reads
+	// poll from 0, not a tail cursor, so every poll re-checks the entire
+	// observed prefix for mutation.
+	readerLogs := make([]chaosReaderLog, cfg.Readers)
+	peers := []string{"hr", "cfo", "ceo"}
+	for r := 0; r < cfg.Readers; r++ {
+		readerLogs[r].peer = peers[r%len(peers)]
+		wg.Add(1)
+		go func(rl *chaosReaderLog) {
+			defer wg.Done()
+			cl := client.New(base, client.Options{
+				RequestTimeout: 2 * time.Second,
+				MaxRetries:     4,
+				BaseBackoff:    2 * time.Millisecond,
+				MaxBackoff:     100 * time.Millisecond,
+			})
+			for ctx.Err() == nil {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+				ts, n, err := cl.Transitions(rctx, rl.peer, 0)
+				cancel()
+				if err != nil {
+					// Transport errors are the faults at work (dead server,
+					// dropped connection) — only consistency violations count.
+					continue
+				}
+				h.reads.Add(1)
+				if msg := rl.observe(ts, n); msg != "" {
+					h.violatef("reader(%s): %s", rl.peer, msg)
+					return
+				}
+			}
+		}(&readerLogs[r])
+	}
+
 	// Orchestrator: inject faults until both budgets are met, then release
 	// the fleet.
 	faults := map[string]int{}
@@ -295,6 +353,9 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 	h.coMu.Lock()
 	co := h.co
 	h.coMu.Unlock()
+	// (5, closing bracket) Everything any reader ever observed must agree
+	// with the final recovered run.
+	h.checkReaders(co, readerLogs)
 	if h.notifCancel != nil {
 		h.notifCancel()
 	}
@@ -309,6 +370,7 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		Acked:      acked,
 		Ambiguous:  ambiguous,
 		Retries:    h.retriesTotal.Load(),
+		Reads:      h.reads.Load(),
 		Injections: injections,
 		Faults:     faults,
 		Recoveries: recoveries,
@@ -320,6 +382,93 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		os.RemoveAll(h.dir)
 	}
 	return sum, nil
+}
+
+// chaosReaderLog records what one polling reader observed across the whole
+// run — crash/recover cycles included — for the invariant-5 assertions:
+// the released length a reader sees never shrinks, and an index, once
+// observed with some (ω, rule, view, because) content, never changes.
+type chaosReaderLog struct {
+	peer   string
+	seen   map[int]client.Transition
+	maxLen int
+}
+
+// observe folds one successful poll into the log; a non-empty return is an
+// invariant violation.
+func (rl *chaosReaderLog) observe(ts []client.Transition, n int) string {
+	if rl.seen == nil {
+		rl.seen = make(map[int]client.Transition)
+	}
+	if n < rl.maxLen {
+		return fmt.Sprintf("released length went backwards: %d after %d", n, rl.maxLen)
+	}
+	rl.maxLen = n
+	for _, t := range ts {
+		prev, ok := rl.seen[t.Index]
+		if !ok {
+			rl.seen[t.Index] = t
+			continue
+		}
+		if prev.Omega != t.Omega || prev.Rule != t.Rule || prev.View != t.View ||
+			!sameInts(prev.Because, t.Because) {
+			return fmt.Sprintf("index %d changed under the reader:\n was: %+v\n now: %+v",
+				t.Index, prev, t)
+		}
+	}
+	return ""
+}
+
+// checkReaders closes invariant 5: every (index, content) any reader ever
+// observed — across every generation — must agree with the final recovered
+// run, and nobody may have seen past its released length.
+func (h *harness) checkReaders(rec *server.Coordinator, logs []chaosReaderLog) {
+	for i := range logs {
+		rl := &logs[i]
+		if rl.seen == nil {
+			continue
+		}
+		ts, n, err := rec.TransitionsAndLen(schema.Peer(rl.peer), 0)
+		if err != nil {
+			h.violatef("reader(%s): final transitions: %v", rl.peer, err)
+			continue
+		}
+		if rl.maxLen > n {
+			h.violatef("reader(%s) observed released length %d but the final recovered run has %d",
+				rl.peer, rl.maxLen, n)
+		}
+		final := make(map[int]server.Notification, len(ts))
+		for _, t := range ts {
+			final[t.Index] = t
+		}
+		for idx, saw := range rl.seen {
+			f, ok := final[idx]
+			if !ok {
+				h.violatef("reader(%s) observed index %d, absent from the final recovered run",
+					rl.peer, idx)
+				continue
+			}
+			if f.Omega != saw.Omega || f.Rule != saw.Rule || f.View != saw.View ||
+				!sameInts(f.Because, saw.Because) {
+				h.violatef("reader(%s) index %d diverges from the final recovered run:\n saw:   %+v\n final: %+v",
+					rl.peer, idx, saw, f)
+			}
+		}
+	}
+}
+
+// sameInts compares two index lists, treating nil and empty as equal (the
+// JSON round-trip drops empty because-lists).
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // pickFault draws the next fault kind. The first six injections cycle

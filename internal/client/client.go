@@ -185,6 +185,31 @@ func (c *Client) Explain(ctx context.Context, peer string) (string, error) {
 	return out.Text, nil
 }
 
+// Transition is one /transitions entry as a polling client sees it: the
+// wire form of the server's Notification.
+type Transition struct {
+	Index   int    `json:"index"`
+	Omega   bool   `json:"omega"`
+	Rule    string `json:"rule,omitempty"`
+	View    string `json:"view"`
+	Because []int  `json:"because,omitempty"`
+}
+
+// Transitions polls the peer's visible transitions with index ≥ from, and
+// returns them with the released run length — both fields answered from one
+// server snapshot, so the pair is mutually consistent.
+func (c *Client) Transitions(ctx context.Context, peer string, from int) ([]Transition, int, error) {
+	var out struct {
+		Transitions []Transition `json:"transitions"`
+		Len         int          `json:"len"`
+	}
+	path := fmt.Sprintf("/transitions?peer=%s&from=%d", peer, from)
+	if err := c.do(ctx, http.MethodGet, path, nil, "", &out); err != nil {
+		return nil, 0, err
+	}
+	return out.Transitions, out.Len, nil
+}
+
 // Certify runs the static deciders (h-boundedness, then transparency) for
 // the peer. A violation comes back as a definite *APIError (409).
 func (c *Client) Certify(ctx context.Context, peer string, h int) error {

@@ -26,6 +26,17 @@ import (
 	"collabwf/internal/transparency"
 )
 
+// RunReader is the read-only view of a run prefix that report building
+// needs: event descriptions depend only on the step sequence and the
+// schema. *program.Run satisfies it; so does an immutable snapshot of a
+// released prefix (the server's lock-free read path).
+type RunReader interface {
+	Schema() *schema.Collaborative
+	Event(i int) *program.Event
+	Effects(i int) []program.Effect
+	VisibleAt(i int, p schema.Peer) bool
+}
+
 // Explainer provides runtime explanations of a run for one peer. It is
 // attached to a run and kept current with Sync; maintenance is incremental
 // (one T_p application per new event, not a fixpoint recomputation).
@@ -77,20 +88,27 @@ func (e *Explainer) ScenarioRun() (*program.Run, error) {
 // the peer's perspective: one section per transition the peer observed,
 // listing the (possibly invisible) events that caused it.
 func (e *Explainer) Report() *Report {
-	rep := &Report{Peer: e.Peer}
+	// Describe only the synced prefix: events past it (buffered but not
+	// yet released by the caller) must not leak into the report.
+	return buildReport(e.Run, e.Peer, e.Run.VisibleEvents(e.Peer), e.maint.Len(), e.ExplainEvent)
+}
+
+// buildReport is the report construction shared by the live Explainer and
+// FrozenExplainer: iterate the visible events below the prefix bound n,
+// describing each with the explanation function's (sorted) event indices.
+func buildReport(rr RunReader, peer schema.Peer, visible []int, n int, explain func(int) []int) *Report {
+	rep := &Report{Peer: peer}
 	explained := make(map[int]bool)
-	for _, i := range e.Run.VisibleEvents(e.Peer) {
-		// Describe only the synced prefix: events past it (buffered but not
-		// yet released by the caller) must not leak into the report.
-		if i >= e.maint.Len() {
+	for _, i := range visible {
+		if i >= n {
 			break
 		}
-		tr := Transition{Index: i, Event: describeEvent(e.Run, i, e.Peer)}
-		for _, j := range e.ExplainEvent(i) {
+		tr := Transition{Index: i, Event: describeEvent(rr, i, peer)}
+		for _, j := range explain(i) {
 			if j == i || explained[j] {
 				continue
 			}
-			note := describeEvent(e.Run, j, e.Peer)
+			note := describeEvent(rr, j, peer)
 			if j < i {
 				tr.Because = append(tr.Because, note)
 			} else {
@@ -108,6 +126,41 @@ func (e *Explainer) Report() *Report {
 		rep.Transitions = append(rep.Transitions, tr)
 	}
 	return rep
+}
+
+// Freeze captures the explainer's state as an immutable FrozenExplainer
+// safe for concurrent lock-free readers. O(1) — see faithful.Maintainer's
+// copy-on-write Freeze.
+func (e *Explainer) Freeze() *FrozenExplainer {
+	return &FrozenExplainer{Peer: e.Peer, fz: e.maint.Freeze()}
+}
+
+// FrozenExplainer answers explanation queries over a fixed run prefix — the
+// state an Explainer had when Freeze was called — with no locking and no
+// access to the live run. The server's read snapshots hold one per peer.
+type FrozenExplainer struct {
+	Peer schema.Peer
+
+	fz *faithful.Frozen
+}
+
+// Len returns the number of events the capture covers.
+func (f *FrozenExplainer) Len() int { return f.fz.Len() }
+
+// MinimalScenario returns the event indices of the minimal p-faithful
+// scenario as of the freeze point.
+func (f *FrozenExplainer) MinimalScenario() []int { return f.fz.Minimal().Sorted() }
+
+// ExplainEvent returns the minimal faithful explanation of event i as of
+// the freeze point.
+func (f *FrozenExplainer) ExplainEvent(i int) []int { return f.fz.Explanation(i).Sorted() }
+
+// ReportOver builds the peer's explanation report over rr, whose first
+// Len() events must be the prefix the explainer was frozen at; visible
+// lists the peer's visible event indices over that prefix (ascending).
+// Semantically identical to Explainer.Report on the same prefix.
+func (f *FrozenExplainer) ReportOver(rr RunReader, visible []int) *Report {
+	return buildReport(rr, f.Peer, visible, f.fz.Len(), f.ExplainEvent)
 }
 
 // Report is a runtime explanation of a run for one peer.
@@ -137,7 +190,7 @@ type EventNote struct {
 	Changes []string
 }
 
-func describeEvent(r *program.Run, i int, peer schema.Peer) EventNote {
+func describeEvent(r RunReader, i int, peer schema.Peer) EventNote {
 	e := r.Event(i)
 	n := EventNote{Index: i, Peer: e.Peer(), Rule: e.Rule.Name, Visible: r.VisibleAt(i, peer)}
 	for _, ef := range r.Effects(i) {
@@ -147,7 +200,7 @@ func describeEvent(r *program.Run, i int, peer schema.Peer) EventNote {
 		case program.Deleted:
 			n.Changes = append(n.Changes, fmt.Sprintf("deleted %s%s", ef.Rel, ef.Before))
 		case program.Modified:
-			rel := r.Prog.Schema.DB.Relation(ef.Rel)
+			rel := r.Schema().DB.Relation(ef.Rel)
 			attrs := ef.FilledAttrs(rel)
 			if len(attrs) == 0 {
 				continue

@@ -28,6 +28,11 @@ type Maintainer struct {
 	refs map[lcID]map[int]bool
 
 	processed int
+	// shared is the copy-on-write watermark left by Freeze: perEvent slots
+	// below it may be aliased by outstanding Frozen captures, so overwriting
+	// one first copies the slice (see setPerEvent). Appends are exempt — a
+	// frozen capture is length-capped, so slots past it are never aliased.
+	shared int
 }
 
 // NewMaintainer builds a maintainer for p over r, replaying any events
@@ -104,7 +109,7 @@ func (m *Maintainer) processOne(n int) {
 				m.main = Add(m.main, sn)
 				m.register(mainID, sn)
 			} else if setID != n {
-				m.perEvent[setID] = Add(m.perEvent[setID], sn)
+				m.setPerEvent(setID, Add(m.perEvent[setID], sn))
 				m.register(setID, sn)
 			}
 		}
@@ -118,6 +123,52 @@ func (m *Maintainer) processOne(n int) {
 		m.register(mainID, sn)
 	}
 }
+
+// setPerEvent overwrites perEvent[i], copying the slice first when the slot
+// may be aliased by a Frozen capture. Only closures of still-open lifecycles
+// are ever overwritten, so steady-state maintenance pays the copy at most
+// once per Freeze, not once per event.
+func (m *Maintainer) setPerEvent(i int, s Seq) {
+	if i < m.shared {
+		m.perEvent = append([]Seq(nil), m.perEvent...)
+		m.shared = 0
+	}
+	m.perEvent[i] = s
+}
+
+// Frozen is an immutable capture of a Maintainer's state at a point in time:
+// the per-event explanations and minimal scenario over exactly the events
+// processed when Freeze was called. It is safe for concurrent use by any
+// number of readers while the Maintainer keeps advancing — the stored Seq
+// values are never mutated in place (the maintainer replaces them), and the
+// capture's slice is protected by the copy-on-write watermark.
+type Frozen struct {
+	perEvent []Seq
+	main     Seq
+	n        int
+}
+
+// Freeze captures the maintainer's current state. O(1): it shares the
+// perEvent backing array (marking it copy-on-write) and the current main
+// sequence (which the maintainer only ever replaces, never mutates).
+func (m *Maintainer) Freeze() *Frozen {
+	n := len(m.perEvent)
+	if m.shared < n {
+		m.shared = n
+	}
+	return &Frozen{perEvent: m.perEvent[:n:n], main: m.main, n: m.processed}
+}
+
+// Explanation returns (a copy of) T_p^ω(ρ, {f}) for event f, as of the
+// freeze point.
+func (f *Frozen) Explanation(i int) Seq { return f.perEvent[i].Clone() }
+
+// Minimal returns (a copy of) the minimal p-faithful scenario as of the
+// freeze point.
+func (f *Frozen) Minimal() Seq { return f.main.Clone() }
+
+// Len returns the number of events the capture covers.
+func (f *Frozen) Len() int { return f.n }
 
 // register records, for every event of set, the open lifecycles whose keys
 // it references, so the closure identified by setID absorbs their eventual

@@ -118,12 +118,18 @@ func (r *Run) ViewAt(i int, p schema.Peer) *schema.ViewInstance {
 // effect-local: relations the event did not touch cannot change any view,
 // so only the affected tuples' visibility and projections are compared.
 func (r *Run) VisibleAt(i int, p schema.Peer) bool {
-	e := r.Steps[i].Event
-	if e.Peer() == p {
+	return StepVisibleAt(r.Prog.Schema, &r.Steps[i], p)
+}
+
+// StepVisibleAt is VisibleAt over a single step, without the run: visibility
+// depends only on the step's event and effects plus the schema, so callers
+// holding an immutable step prefix (the coordinator's read snapshots) can
+// answer it with no access to the live — possibly growing — run.
+func StepVisibleAt(s *schema.Collaborative, st *Step, p schema.Peer) bool {
+	if st.Event.Peer() == p {
 		return true
 	}
-	s := r.Prog.Schema
-	for _, ef := range r.Steps[i].Effects {
+	for _, ef := range st.Effects {
 		v, ok := s.View(p, ef.Rel)
 		if !ok {
 			continue
@@ -144,6 +150,9 @@ func (r *Run) VisibleAt(i int, p schema.Peer) bool {
 	}
 	return false
 }
+
+// Schema returns the collaborative schema the run's program is over.
+func (r *Run) Schema() *schema.Collaborative { return r.Prog.Schema }
 
 // VisibleEvents returns the indices of the events visible at p.
 func (r *Run) VisibleEvents(p schema.Peer) []int {

@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"collabwf/internal/core"
@@ -91,6 +92,24 @@ type Coordinator struct {
 	// O(new events) instead of rescanning the run.
 	visCache map[schema.Peer]*visIndex
 
+	// snap is the published read snapshot (see snapshot.go): an immutable
+	// capture of the released prefix that View/Explain/Scenario/Transitions/
+	// Trace/Len serve without taking mu. releaseLocked swaps a fresh one in
+	// before notifying, so a subscriber that receives notification idx
+	// always observes Len() ≥ idx+1. snapSeq counts publications.
+	snap    atomic.Pointer[snapshot]
+	snapSeq uint64
+	// viewStrs caches rendered view strings by (step, peer), shared across
+	// snapshots: the released prefix is immutable, so an entry never goes
+	// stale (rollback only ever targets unreleased events).
+	viewStrs sync.Map
+	// lockedReads forces reads back onto the mutex path (E17 baseline and
+	// the -locked-reads escape hatch).
+	lockedReads atomic.Bool
+	// mread mirrors metrics for the lock-free read paths, which must not
+	// touch mu to read the field Instrument sets under it.
+	mread atomic.Pointer[Metrics]
+
 	subs   map[schema.Peer]map[int]chan Notification
 	nextID int
 	// dropped counts notifications lost to slow subscribers. It counts
@@ -138,7 +157,7 @@ type Coordinator struct {
 
 // New starts a coordinator for the program from the empty instance.
 func New(name string, p *program.Program) *Coordinator {
-	return &Coordinator{
+	c := &Coordinator{
 		name:          name,
 		prog:          p,
 		run:           program.NewRun(p),
@@ -150,6 +169,10 @@ func New(name string, p *program.Program) *Coordinator {
 		droppedByPeer: make(map[schema.Peer]int),
 		idem:          make(map[string]*idemEntry),
 	}
+	// Publish the empty-prefix snapshot so reads are lock-free from the
+	// first request (no "nil snapshot" fallback state exists).
+	c.publishSnapshotLocked()
+	return c
 }
 
 // Guard enforces transparency and h-boundedness for the peer: submissions
@@ -433,9 +456,18 @@ func (c *Coordinator) acceptLocked(ctx context.Context, sp *obs.Span, peer schem
 // subscribers in strict index order. Commits resolve in sequence order, so
 // by the time the submitter of idx holds the lock again every earlier event
 // is durable too — the released prefix is always contiguous.
+//
+// The read snapshot is published before the first notification goes out:
+// a subscriber that receives notification idx and then calls Len() (now
+// lock-free) must observe ≥ idx+1.
 func (c *Coordinator) releaseLocked(ctx context.Context, idx int) {
-	for i := c.observable; i <= idx; i++ {
-		c.observable = i + 1
+	if idx < c.observable {
+		return
+	}
+	start := c.observable
+	c.observable = idx + 1
+	c.publishSnapshotLocked()
+	for i := start; i <= idx; i++ {
 		c.notify(ctx, i)
 	}
 }
@@ -624,23 +656,30 @@ func (c *Coordinator) notify(ctx context.Context, idx int) {
 	sp.SetAttr("dropped", droppedNow)
 }
 
-func (c *Coordinator) buildNotification(peer schema.Peer, idx int) Notification {
-	e := c.run.Event(idx)
+// makeNotification assembles a Notification from its parts. The locked
+// (buildNotification) and lock-free (snapNotification) builders both route
+// through it so the two paths stay byte-identical.
+func makeNotification(e *program.Event, peer schema.Peer, idx int, view string, because []int) Notification {
 	n := Notification{
 		Index: idx,
 		Omega: e.Peer() != peer,
-		View:  c.run.ViewAt(idx, peer).String(),
+		View:  view,
 	}
 	if !n.Omega {
 		n.Rule = e.Rule.Name
 	}
-	for _, j := range c.explainer(peer).ExplainEvent(idx) {
+	for _, j := range because {
 		if j != idx {
 			n.Because = append(n.Because, j)
 		}
 	}
 	sort.Ints(n.Because)
 	return n
+}
+
+func (c *Coordinator) buildNotification(peer schema.Peer, idx int) Notification {
+	return makeNotification(c.run.Event(idx), peer, idx,
+		c.run.ViewAt(idx, peer).String(), c.explainer(peer).ExplainEvent(idx))
 }
 
 // Subscribe registers a notification channel for the peer's visible
@@ -701,35 +740,69 @@ func (c *Coordinator) closeSubscribersLocked() {
 	}
 }
 
+// unknownPeerErr is the shared unknown-peer rejection.
+func unknownPeerErr(peer schema.Peer) error {
+	return fmt.Errorf("server: unknown peer %s", peer)
+}
+
 // View renders the peer's current view of the database — of the released
 // prefix; buffered events not yet durable are invisible. On an empty run
 // (ViewAt index −1) this is the peer's view of the initial instance.
+// Lock-free: served from the published snapshot.
 func (c *Coordinator) View(peer schema.Peer) (string, error) {
+	if s := c.readSnapshot(); s != nil {
+		if !s.prog.Schema.HasPeer(peer) {
+			return "", unknownPeerErr(peer)
+		}
+		c.readMetrics().readPath(true)
+		return c.snapView(s, s.Len()-1, peer), nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.prog.Schema.HasPeer(peer) {
-		return "", fmt.Errorf("server: unknown peer %s", peer)
+		return "", unknownPeerErr(peer)
 	}
+	c.readMetrics().readPath(false)
 	return c.run.ViewAt(c.observable-1, peer).String(), nil
 }
 
 // Explain returns the peer's runtime explanation report of the run so far.
+// Lock-free: the snapshot's frozen explainer already incorporates every
+// released event (advanced incrementally at release time), so the report is
+// assembled from precomputed explanations — no maintenance work happens on
+// the read path.
 func (c *Coordinator) Explain(peer schema.Peer) (*core.Report, error) {
+	if s := c.readSnapshot(); s != nil {
+		if !s.prog.Schema.HasPeer(peer) {
+			return nil, unknownPeerErr(peer)
+		}
+		c.readMetrics().readPath(true)
+		return s.exp[peer].ReportOver(s, s.vis[peer]), nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.prog.Schema.HasPeer(peer) {
-		return nil, fmt.Errorf("server: unknown peer %s", peer)
+		return nil, unknownPeerErr(peer)
 	}
+	c.readMetrics().readPath(false)
 	return c.explainer(peer).Report(), nil
 }
 
 // Scenario returns the peer's minimal faithful scenario indices.
 func (c *Coordinator) Scenario(peer schema.Peer) ([]int, error) {
+	if s := c.readSnapshot(); s != nil {
+		if !s.prog.Schema.HasPeer(peer) {
+			return nil, unknownPeerErr(peer)
+		}
+		c.readMetrics().readPath(true)
+		return s.exp[peer].MinimalScenario(), nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.prog.Schema.HasPeer(peer) {
-		return nil, fmt.Errorf("server: unknown peer %s", peer)
+		return nil, unknownPeerErr(peer)
 	}
+	c.readMetrics().readPath(false)
 	return c.explainer(peer).MinimalScenario(), nil
 }
 
@@ -759,34 +832,43 @@ func (c *Coordinator) visibleLocked(peer schema.Peer) []int {
 }
 
 // Transitions returns the peer's visible transitions with indices ≥ from,
-// for poll-based observation. The visible-index cache makes steady-state
-// polling O(new events + answer): the cache grows only with newly released
-// events and a binary search finds the resume point, instead of rescanning
-// the whole run per poll.
+// for poll-based observation. Lock-free: the snapshot's visible-index slice
+// and a binary search make a poll O(answer); the underlying cache grows
+// only with newly released events, at release time.
 func (c *Coordinator) Transitions(peer schema.Peer, from int) ([]Notification, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.prog.Schema.HasPeer(peer) {
-		return nil, fmt.Errorf("server: unknown peer %s", peer)
-	}
+	out, _, err := c.TransitionsAndLen(peer, from)
+	return out, err
+}
+
+// transitionsLocked is the mutex-path Transitions body. Callers hold the
+// lock.
+func (c *Coordinator) transitionsLocked(peer schema.Peer, from int) []Notification {
 	idxs := c.visibleLocked(peer)
 	var out []Notification
 	for _, idx := range idxs[sort.SearchInts(idxs, from):] {
 		out = append(out, c.buildNotification(peer, idx))
 	}
-	return out, nil
+	return out
 }
 
 // Trace exports the released run prefix as a replayable trace (operator
-// access).
+// access). Lock-free: built from the snapshot's captured event prefix.
 func (c *Coordinator) Trace() *trace.Trace {
+	if s := c.readSnapshot(); s != nil {
+		c.readMetrics().readPath(true)
+		return s.trace()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.readMetrics().readPath(false)
 	return trace.FromRunPrefix(c.name, c.run, c.observable)
 }
 
-// Len returns the number of events accepted and released so far.
+// Len returns the number of events accepted and released so far. Lock-free.
 func (c *Coordinator) Len() int {
+	if s := c.readSnapshot(); s != nil {
+		return s.Len()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.observable

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"time"
 
+	"collabwf/internal/core"
 	"collabwf/internal/design"
 	"collabwf/internal/obs"
 	"collabwf/internal/program"
@@ -145,6 +146,20 @@ func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinato
 	}
 	// Everything recovered was durable before the crash: release it all.
 	c.observable = c.run.Len()
+	// New published an empty-prefix snapshot over the pre-replay run, and its
+	// lazily created explainers/visible-index caches are bound to that run
+	// too: reset them and rebuild against the recovered run here, during
+	// recovery, so no peer's first Explain replays the whole prefix under the
+	// lock (publishSnapshotLocked syncs every peer's explainer to the
+	// recovered prefix and swaps in the real snapshot).
+	c.explainers = make(map[schema.Peer]*core.Explainer)
+	c.visCache = make(map[schema.Peer]*visIndex)
+	// The view-string cache needs no reset: nothing can have rendered a view
+	// between New and here (the coordinator has not been returned yet), and
+	// stale entries cannot exist anyway — keys are (step, peer) over the
+	// immutable released prefix. Clear it defensively all the same.
+	c.viewStrs.Range(func(k, _ any) bool { c.viewStrs.Delete(k); return true })
+	c.publishSnapshotLocked()
 	c.observeRecovery(time.Since(start), c.run.Len())
 	return c, nil
 }

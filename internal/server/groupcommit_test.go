@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -379,5 +380,234 @@ func TestAdmissionUnlimitedPassesThrough(t *testing.T) {
 	Admission(nil, 0, nil, inner).ServeHTTP(rec, httptest.NewRequest("POST", "/submit", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+}
+
+// readerLog records what one concurrent reader observed, for the
+// prefix-consistency assertions: once an index has been observed with some
+// (rule, view) content, every later observation of that index must be
+// identical — a rolled-back event surfacing at a reused index would differ.
+type readerLog struct {
+	seen    map[int]Notification
+	maxLen  int
+	violate string
+}
+
+func (rl *readerLog) observe(ts []Notification, n int) {
+	if rl.seen == nil {
+		rl.seen = make(map[int]Notification)
+	}
+	if n < rl.maxLen && rl.violate == "" {
+		rl.violate = fmt.Sprintf("len went backwards: %d after %d", n, rl.maxLen)
+	}
+	if n > rl.maxLen {
+		rl.maxLen = n
+	}
+	for _, t := range ts {
+		if prev, ok := rl.seen[t.Index]; ok {
+			if !reflect.DeepEqual(prev, t) && rl.violate == "" {
+				rl.violate = fmt.Sprintf("index %d changed under the reader:\n was: %+v\n now: %+v", t.Index, prev, t)
+			}
+			continue
+		}
+		rl.seen[t.Index] = t
+	}
+}
+
+// TestConcurrentReadersDuringGroupCommits is the -race stress test of the
+// lock-free read path: reader goroutines hammer View/Explain/Transitions/
+// Len while writers stream durable group-committed submissions. Asserts
+// monotonic, prefix-consistent reads; the race detector asserts the memory
+// model.
+func TestConcurrentReadersDuringGroupCommits(t *testing.T) {
+	prog := workload.Hiring()
+	c, err := NewDurable("Hiring", prog, DurabilityConfig{Dir: t.TempDir(), Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const writers, perWriter, readers = 4, 25, 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	logs := make([]readerLog, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(rl *readerLog) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts, n, err := c.TransitionsAndLen("hr", 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rl.observe(ts, n)
+				if _, err := c.View("hr"); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Explain("hr"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(&logs[r])
+	}
+	var werr error
+	var werrMu sync.Mutex
+	var wwg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := c.Submit("hr", "clear", nil); err != nil {
+					werrMu.Lock()
+					werr = err
+					werrMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if got := c.Len(); got != writers*perWriter {
+		t.Fatalf("Len() = %d, want %d", got, writers*perWriter)
+	}
+	// Every reader's record must agree with the final state.
+	final, _, err := c.TransitionsAndLen("hr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIndex := make(map[int]Notification, len(final))
+	for _, n := range final {
+		byIndex[n.Index] = n
+	}
+	for r := range logs {
+		if logs[r].violate != "" {
+			t.Fatalf("reader %d: %s", r, logs[r].violate)
+		}
+		for idx, seen := range logs[r].seen {
+			want, ok := byIndex[idx]
+			if !ok {
+				t.Fatalf("reader %d saw index %d missing from the final state", r, idx)
+			}
+			// Views are immutable per index. Because lists may have grown
+			// since the reader sampled (closures absorb later lifecycle
+			// closes), so assert the subset direction only.
+			if seen.View != want.View || seen.Rule != want.Rule || seen.Omega != want.Omega {
+				t.Fatalf("reader %d, index %d diverged from final state:\n seen: %+v\n want: %+v", r, idx, seen, want)
+			}
+		}
+	}
+}
+
+// TestRollbackDuringReadsInvisible extends the crash-during-group-commit
+// property with concurrent readers: while a doomed batch is in flight (slow
+// fsync, then EIO), readers poll continuously — and must never observe any
+// of the rolled-back events, even though their indices are later reused by
+// new accepted submissions with different payloads.
+func TestRollbackDuringReadsInvisible(t *testing.T) {
+	prog := workload.Hiring()
+	fp := wal.NewFailpoints()
+	c, err := NewDurable("Hiring", prog, DurabilityConfig{Dir: t.TempDir(), Sync: wal.SyncAlways, Failpoints: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const durablePrefix = 3
+	for i := 0; i < durablePrefix; i++ {
+		if _, err := c.Submit("hr", "clear", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	const readers = 3
+	logs := make([]readerLog, readers)
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(rl *readerLog) {
+			defer rwg.Done()
+			for {
+				ts, n, err := c.TransitionsAndLen("hr", 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rl.observe(ts, n)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(&logs[r])
+	}
+
+	// Doom the next batch: every submitter in the slow-sync window fails and
+	// rolls back. Readers are polling throughout.
+	boom := errors.New("EIO mid-batch")
+	fp.SlowSync(100 * time.Millisecond)
+	fp.FailNextSync(boom)
+	const doomed = 5
+	var swg sync.WaitGroup
+	for i := 0; i < doomed; i++ {
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			if _, err := c.Submit("hr", "clear", nil); err == nil {
+				t.Error("doomed submission resolved durable")
+			}
+		}()
+	}
+	swg.Wait()
+	fp.Reset()
+	if got := c.Len(); got != durablePrefix {
+		t.Fatalf("Len() = %d after failed batch, want %d", got, durablePrefix)
+	}
+	// Reuse the rolled-back indices with fresh, successful submissions.
+	for i := 0; i < doomed; i++ {
+		if _, err := c.Submit("hr", "clear", nil); err != nil {
+			t.Fatalf("submit after realign: %v", err)
+		}
+	}
+	close(stop)
+	rwg.Wait()
+
+	final, n, err := c.TransitionsAndLen("hr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != durablePrefix+doomed {
+		t.Fatalf("final len %d, want %d", n, durablePrefix+doomed)
+	}
+	byIndex := make(map[int]Notification, len(final))
+	for _, fn := range final {
+		byIndex[fn.Index] = fn
+	}
+	for r := range logs {
+		if logs[r].violate != "" {
+			t.Fatalf("reader %d: %s", r, logs[r].violate)
+		}
+		for idx, seen := range logs[r].seen {
+			want, ok := byIndex[idx]
+			if !ok || seen.View != want.View || seen.Rule != want.Rule || seen.Omega != want.Omega {
+				t.Fatalf("reader %d observed a rolled-back event at index %d:\n seen: %+v\n final: %+v (present %v)",
+					r, idx, seen, want, ok)
+			}
+		}
 	}
 }

@@ -177,12 +177,14 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 			}
 			from = n
 		}
-		ts, err := c.Transitions(peerParam(r), from)
+		// One snapshot answers both fields, so the (transitions, len) pair is
+		// mutually consistent even while releases race the poll.
+		ts, n, err := c.TransitionsAndLen(peerParam(r), from)
 		if err != nil {
 			httpError(w, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, map[string]any{"transitions": ts, "len": c.Len()})
+		writeJSON(w, map[string]any{"transitions": ts, "len": n})
 	})
 
 	handle("/trace", func(w http.ResponseWriter, r *http.Request) {

@@ -36,6 +36,12 @@ type Metrics struct {
 	recoverySecs   *obs.Gauge
 	recoveredEvs   *obs.Gauge
 
+	// Read path: lock-free vs mutex-fallback serving and snapshot churn.
+	readLockfree *obs.Counter
+	readLocked   *obs.Counter
+	snapSwaps    *obs.Counter
+	snapAge      *obs.Gauge
+
 	// Decider search (Certify): the transparency.Stats counters surfaced
 	// as registry families.
 	deciderRuns    obs.CounterVec // check, outcome
@@ -80,6 +86,15 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Wall time of the last snapshot+WAL recovery."),
 		recoveredEvs: reg.Gauge("wf_coordinator_recovered_events",
 			"Events reconstructed by the last recovery."),
+
+		readLockfree: reg.Counter("wf_read_lockfree_total",
+			"Reads (view, explain, scenario, transitions, trace) served from the published snapshot without the coordinator lock."),
+		readLocked: reg.Counter("wf_read_locked_total",
+			"Reads served on the coordinator-mutex fallback path (-locked-reads or baseline benchmarking)."),
+		snapSwaps: reg.Counter("wf_snapshot_swaps_total",
+			"Read-snapshot publications (one per release batch, plus construction and recovery)."),
+		snapAge: reg.Gauge("wf_snapshot_age_seconds",
+			"Age of the published read snapshot at scrape time."),
 
 		deciderRuns: reg.CounterVec("wf_decider_runs_total",
 			"Decider invocations via Certify, by check (bounded, transparent) and outcome (ok, violation, cancelled, error).", "check", "outcome"),
@@ -138,6 +153,32 @@ func (m *Metrics) rolledBack() {
 	}
 }
 
+// readPath attributes one read to the lock-free or mutex path. Nil-safe.
+func (m *Metrics) readPath(lockfree bool) {
+	if m == nil {
+		return
+	}
+	if lockfree {
+		m.readLockfree.Inc()
+	} else {
+		m.readLocked.Inc()
+	}
+}
+
+// snapshotSwapped records one read-snapshot publication. Nil-safe.
+func (m *Metrics) snapshotSwapped() {
+	if m != nil {
+		m.snapSwaps.Inc()
+	}
+}
+
+// readMetrics returns the metrics handle for lock-free read paths, which
+// must not take the coordinator lock to reach the field Instrument sets
+// under it. Nil until Instrument runs; every consumer is nil-safe.
+func (c *Coordinator) readMetrics() *Metrics {
+	return c.mread.Load()
+}
+
 // foldSearch folds a decider search-effort delta into the registry.
 // Nil-safe.
 func (m *Metrics) foldSearch(d transparency.Stats) {
@@ -178,9 +219,17 @@ func (m *Metrics) deciderOutcome(check string, violation bool, err error) {
 // once, before or after traffic starts.
 func (c *Coordinator) Instrument(reg *obs.Registry) *Metrics {
 	m := NewMetrics(reg)
+	// The snapshot-age gauge is sampled at scrape time (ages advance whether
+	// or not anything is published; a periodic setter would always be stale).
+	reg.OnGather(func() {
+		if _, age, _ := c.SnapshotInfo(); age > 0 {
+			m.snapAge.Set(age.Seconds())
+		}
+	})
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.metrics = m
+	c.mread.Store(m)
 	m.runEvents.Set(float64(c.observable))
 	total := 0
 	for _, chans := range c.subs {

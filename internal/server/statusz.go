@@ -27,6 +27,9 @@ type Statusz struct {
 	// DroppedNotifications surfaces notifications lost to slow subscribers
 	// — previously counted silently — total and attributed per peer.
 	DroppedNotifications DroppedNotifications `json:"dropped_notifications"`
+	// Snapshot describes the published lock-free read snapshot: sequence
+	// number (publications so far), age, and covered events.
+	Snapshot SnapshotStatus `json:"snapshot"`
 	// Metrics condenses every registered family to a scalar: counters and
 	// gauges sum their series; histograms report {count, sum}.
 	Metrics map[string]any `json:"metrics,omitempty"`
@@ -36,6 +39,13 @@ type Statusz struct {
 type DroppedNotifications struct {
 	Total  int            `json:"total"`
 	ByPeer map[string]int `json:"by_peer,omitempty"`
+}
+
+// SnapshotStatus is the /statusz read-snapshot report.
+type SnapshotStatus struct {
+	Seq        uint64  `json:"seq"`
+	AgeSeconds float64 `json:"age_seconds"`
+	Events     int     `json:"events"`
 }
 
 // StatuszHandler serves the operator summary for the coordinator. reg may
@@ -58,6 +68,8 @@ func StatuszHandler(c *Coordinator, reg *obs.Registry) http.Handler {
 				ByPeer: c.DroppedByPeer(),
 			},
 		}
+		seq, age, events := c.SnapshotInfo()
+		st.Snapshot = SnapshotStatus{Seq: seq, AgeSeconds: age.Seconds(), Events: events}
 		if err := c.Ready(); err != nil {
 			st.Ready = err.Error()
 		}

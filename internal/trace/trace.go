@@ -69,9 +69,16 @@ func (rec EventRecord) Decode(p *program.Program) (*program.Event, error) {
 
 // FromRun extracts a trace from a run.
 func FromRun(name string, r *program.Run) *Trace {
+	return FromEvents(name, r.Initial, r.Events())
+}
+
+// FromEvents builds a trace from an initial instance and an event sequence
+// directly, without a *Run — for callers holding an immutable captured
+// prefix (the coordinator's read snapshots) rather than the live run.
+func FromEvents(name string, initial *schema.Instance, events []*program.Event) *Trace {
 	t := &Trace{Workflow: name}
-	for _, rel := range r.Initial.DB().Names() {
-		for _, tup := range r.Initial.Tuples(rel) {
+	for _, rel := range initial.DB().Names() {
+		for _, tup := range initial.Tuples(rel) {
 			f := Fact{Rel: rel, Tuple: make([]string, len(tup))}
 			for i, v := range tup {
 				f.Tuple[i] = string(v)
@@ -79,7 +86,7 @@ func FromRun(name string, r *program.Run) *Trace {
 			t.Initial = append(t.Initial, f)
 		}
 	}
-	for _, e := range r.Events() {
+	for _, e := range events {
 		t.Events = append(t.Events, EncodeEvent(e))
 	}
 	return t
