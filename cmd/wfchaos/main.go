@@ -5,7 +5,9 @@
 // hard-crashes the process image — truncating the unsynced WAL tail to
 // simulate page-cache loss — then recovers and checks the durability,
 // idempotency, notification, checksum, and reader-consistency invariants
-// (polling readers must see a monotonic, prefix-consistent run throughout).
+// (polling readers must see a monotonic, prefix-consistent run throughout,
+// and the decision-log stream must hold no phantom accepted record and no
+// acked-but-unlogged submission).
 //
 // The run is fully determined by -seed: a CI failure is replayed locally
 // with the seed printed in the summary. The summary is written to stdout
@@ -16,7 +18,7 @@
 //
 //	wfchaos [-seed 1] [-ops 400] [-workers 4] [-readers 2] [-injections 200]
 //	        [-crash-every 12] [-snapshot-every 32] [-dir ""] [-timeout 5m]
-//	        [-v]
+//	        [-declog] [-v]
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 	crashEvery := flag.Int("crash-every", 12, "expected injections per crash/recover cycle")
 	snapshotEvery := flag.Int("snapshot-every", 32, "coordinator snapshot threshold (events)")
 	dir := flag.String("dir", "", "data directory (kept after the run); empty means a temp dir, removed on success")
+	declogOn := flag.Bool("declog", true, "stream decisions to decisions.jsonl in the data dir and check invariant 6")
 	timeout := flag.Duration("timeout", 5*time.Minute, "abort the soak after this long")
 	verbose := flag.Bool("v", false, "log injections and recoveries to stderr")
 	flag.Parse()
@@ -60,6 +63,7 @@ func main() {
 		CrashEveryN:   *crashEvery,
 		SnapshotEvery: *snapshotEvery,
 		Dir:           *dir,
+		NoDecisionLog: !*declogOn,
 		Logger:        logger,
 	})
 	if err != nil {

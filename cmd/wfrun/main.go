@@ -10,8 +10,16 @@
 //
 // Usage:
 //
+// With -audit the run is not scheduled at all: the given decision-log JSONL
+// file (wfserve -declog, see internal/declog) is replayed against the spec —
+// accepted records rebuild the run, logged rejection/explanation verdicts
+// are recomputed and compared — and wfrun exits non-zero on any divergence.
+//
+// Usage:
+//
 //	wfrun -spec workflow.wf [-steps 20] [-seed 1] [-peer sue]
 //	      [-server http://127.0.0.1:8080]
+//	      [-audit decisions.jsonl [-audit-certify]]
 //	      [-log-level info] [-log-format auto|text|json]
 package main
 
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"collabwf/internal/client"
+	"collabwf/internal/declog"
 	"collabwf/internal/engine"
 	"collabwf/internal/obs"
 	"collabwf/internal/parse"
@@ -40,6 +49,8 @@ func main() {
 	peer := flag.String("peer", "", "print only this peer's view")
 	out := flag.String("out", "", "write the run as a JSON trace to this file")
 	serverURL := flag.String("server", "", "replay the run against this coordinator URL instead of locally")
+	auditPath := flag.String("audit", "", "audit a decision-log JSONL file against the spec instead of running")
+	auditCertify := flag.Bool("audit-certify", false, "with -audit, also recompute certification verdicts (runs the deciders)")
 	logFlags := obs.RegisterLogFlags(flag.CommandLine, "warn")
 	flag.Parse()
 
@@ -59,6 +70,9 @@ func main() {
 	spec, err := parse.Parse(string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if *auditPath != "" {
+		os.Exit(auditDecisions(spec.Program, *auditPath, *auditCertify))
 	}
 	logger.Debug("spec loaded", "workflow", spec.Name, "rules", len(spec.Program.Rules()), "peers", len(spec.Program.Peers()))
 	if err := spec.Program.Schema.CheckLossless(); err != nil {
@@ -138,6 +152,38 @@ func replayRemote(base string, prog *program.Program, r *program.Run, peers []sc
 		fmt.Printf("server view at %s:\n  %s\n", p, v)
 	}
 	return nil
+}
+
+// auditDecisions replays a decision-log file against the specification: the
+// accepted records rebuild the run, every rejection / explanation (and,
+// with -audit-certify, certification) verdict is recomputed and compared
+// with what the coordinator logged. Exit 0 means the log is faithful.
+func auditDecisions(p *program.Program, path string, recheckCertify bool) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rep, err := declog.Audit(p, f, declog.AuditOptions{RecheckCertify: recheckCertify})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("audited %s: %d records (%d accepted, %d replayed, %d rejections, %d guards, %d certify, %d explain, %d recover)\n",
+		path, rep.Records, rep.Accepted, rep.Replayed, rep.Rejections, rep.Guards,
+		rep.Certifies, rep.Explains, rep.Recovers)
+	fmt.Printf("rebuilt run of %d events; rechecked %d rejections, %d explanations, %d certifications\n",
+		rep.RunLen, rep.RecheckedRejections, rep.RecheckedExplains, rep.RecheckedCertifies)
+	if rep.Ok() {
+		fmt.Println("audit OK: every logged verdict matches its recomputation")
+		return 0
+	}
+	for _, m := range rep.Mismatches {
+		fmt.Fprintln(os.Stderr, "MISMATCH:", m)
+	}
+	if rep.Suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "… and %d more mismatches\n", rep.Suppressed)
+	}
+	return 1
 }
 
 func fatal(err error) {

@@ -19,6 +19,9 @@
 //	        [-wal-strict] [-idem-window 4096] [-locked-reads]
 //	        [-snapshot-every 256] [-wal-max-batch 64] [-max-inflight 256]
 //	        [-shutdown-timeout 10s]
+//	        [-declog decisions.jsonl|http://collector/v1|stdout]
+//	        [-declog-batch 128] [-declog-flush-interval 1s]
+//	        [-declog-queue 4096] [-declog-rotate-bytes 67108864]
 //	        [-request-timeout 30s] [-debug-addr :6060]
 //	        [-log-level info] [-log-format auto|text|json]
 //	        [-trace-sample always|error|slow|off] [-trace-slow 100ms]
@@ -43,6 +46,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"collabwf/internal/declog"
 	"collabwf/internal/obs"
 	"collabwf/internal/parse"
 	"collabwf/internal/schema"
@@ -76,6 +81,11 @@ func main() {
 	walMaxBatch := flag.Int("wal-max-batch", 0, "max records per group-commit fsync batch (0 = unbounded)")
 	walStrict := flag.Bool("wal-strict", false, "refuse to start on a corrupt WAL record instead of truncating at the first bad record")
 	idemWindow := flag.Int("idem-window", 0, "idempotency-key dedupe window in submissions (0 = 4096)")
+	declogDest := flag.String("declog", "", "decision-log sink: a JSONL file path, an http(s):// collector URL, or 'stdout'; empty = disabled")
+	declogBatch := flag.Int("declog-batch", 0, "decision-log records per export batch (0 = 128)")
+	declogFlush := flag.Duration("declog-flush-interval", 0, "max decision-log record age before a partial batch exports (0 = 1s)")
+	declogQueue := flag.Int("declog-queue", 0, "decision-log queue capacity; full queues drop the oldest record (0 = 4096)")
+	declogRotate := flag.Int64("declog-rotate-bytes", 64<<20, "rotate the decision-log file past this size (file sink only; 0 = never)")
 	lockedReads := flag.Bool("locked-reads", false, "serve reads through the coordinator mutex instead of the lock-free snapshot (escape hatch)")
 	debugAddr := flag.String("debug-addr", "", "debug listener (pprof + /metrics + /debug/traces); empty = disabled")
 	traceSample := flag.String("trace-sample", "always", "trace sampling policy: always, error, slow or off")
@@ -118,6 +128,30 @@ func main() {
 
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
+	obs.RegisterBuildInfo(reg)
+
+	// The decision log opens before the coordinator so recovery itself is
+	// the stream's first record (see DurabilityConfig.DecisionLog).
+	var declogger *declog.Logger
+	if *declogDest != "" {
+		sink, err := newDeclogSink(*declogDest, *declogRotate, logger)
+		if err != nil {
+			fatal(err)
+		}
+		declogger, err = declog.New(declog.Config{
+			Sink:          sink,
+			Capacity:      *declogQueue,
+			BatchSize:     *declogBatch,
+			FlushInterval: *declogFlush,
+			Registry:      reg,
+			Logger:        logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("decision log streaming to %s\n", sink.Describe())
+	}
+
 	var c *server.Coordinator
 	if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsync)
@@ -133,6 +167,7 @@ func main() {
 			IdemWindow:    *idemWindow,
 			Metrics:       reg,
 			Logger:        logger,
+			DecisionLog:   declogger,
 		})
 		if err != nil {
 			fatal(err)
@@ -142,6 +177,7 @@ func main() {
 		}
 	} else {
 		c = server.New(spec.Name, spec.Program)
+		c.SetDecisionLog(declogger)
 	}
 	metrics := c.Instrument(reg)
 	c.SetLogger(logger)
@@ -222,7 +258,28 @@ func main() {
 	if err := c.Close(); err != nil {
 		fatal(fmt.Errorf("closing coordinator: %w", err))
 	}
+	// The coordinator is closed, so no new decisions can be emitted: drain
+	// whatever the queue still holds and close the sink.
+	if declogger != nil {
+		if err := declogger.Close(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "wfserve: closing decision log:", err)
+		}
+	}
 	fmt.Println("wfserve: state persisted, bye")
+}
+
+// newDeclogSink builds the -declog sink: an http(s):// URL uploads gzipped
+// batches with retries, "stdout" (or "-") writes JSONL to standard output,
+// anything else is a file path with size rotation.
+func newDeclogSink(dest string, rotateBytes int64, logger *slog.Logger) (declog.Sink, error) {
+	switch {
+	case strings.HasPrefix(dest, "http://") || strings.HasPrefix(dest, "https://"):
+		return declog.NewHTTPSink(dest, declog.HTTPOptions{Logger: logger}), nil
+	case dest == "stdout" || dest == "-":
+		return declog.NewWriterSink(os.Stdout, "stdout"), nil
+	default:
+		return declog.NewFileSink(dest, declog.FileOptions{MaxBytes: rotateBytes})
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceDetector reports whether the binary was built with -race. Performance
+// floors that measure nanosecond-scale costs (E18's emit overhead) are
+// meaningless under the detector's instrumentation and are skipped.
+const raceDetector = true

@@ -15,7 +15,7 @@ import (
 
 // Table is one experiment's result.
 type Table struct {
-	// ID is the experiment identifier (E1..E17).
+	// ID is the experiment identifier (E1..E18).
 	ID string
 	// Title summarizes the experiment.
 	Title string
@@ -104,5 +104,6 @@ func All() []Experiment {
 		{"E15", E15ParallelSearch},
 		{"E16", E16GroupCommit},
 		{"E17", E17ReadPath},
+		{"E18", E18DecisionLog},
 	}
 }

@@ -18,12 +18,20 @@
 //     released prefix — the reported length never shrinks (even across
 //     crash/recover) and an index, once observed, never changes content —
 //     and everything they saw matches the final recovered run.
+//  6. decision-log fidelity: the decision stream (internal/declog, one
+//     file across every coordinator generation) holds no phantom accepted
+//     record (every accepted record's index, rule and valuation appear in
+//     the final recovered run) and no acked submission goes unlogged
+//     (every acknowledged candidate has an accepted or idempotent-replay
+//     record consistent with its index).
 //
 // Every random choice flows from one seed, so a failing run replays.
 package chaos
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	"collabwf/internal/client"
+	"collabwf/internal/declog"
 	"collabwf/internal/obs"
 	"collabwf/internal/schema"
 	"collabwf/internal/server"
@@ -81,6 +90,10 @@ type Config struct {
 	// Dir is the WAL directory; "" means a fresh temp dir (removed on
 	// success, kept on failure for inspection).
 	Dir string
+	// NoDecisionLog disables the decision-log stream and its fidelity
+	// invariant (6). The stream is on by default: decisions.jsonl in Dir,
+	// shared by every coordinator generation.
+	NoDecisionLog bool
 	// Logger, when non-nil, narrates injections and recoveries.
 	Logger *slog.Logger
 }
@@ -98,8 +111,13 @@ type Summary struct {
 	Faults     map[string]int `json:"faults"`
 	Recoveries int            `json:"recoveries"`
 	Checks     int            `json:"invariant_checks"`
-	Violations []string       `json:"violations,omitempty"`
-	Duration   string         `json:"duration"`
+	// Decisions counts the records in the decision stream (all generations)
+	// and DecisionsDropped the records the bounded pipeline shed; a healthy
+	// soak sheds none (the harness sizes the queue for its op budget).
+	Decisions        int      `json:"decisions"`
+	DecisionsDropped uint64   `json:"decisions_dropped"`
+	Violations       []string `json:"violations,omitempty"`
+	Duration         string   `json:"duration"`
 }
 
 // harness is the mutable run state shared by the orchestrator and the
@@ -111,6 +129,11 @@ type harness struct {
 
 	dir string
 	fp  *wal.Failpoints
+
+	// dlog is the decision stream shared by every coordinator generation
+	// (nil when Config.NoDecisionLog); decPath is its JSONL file.
+	dlog    *declog.Logger
+	decPath string
 
 	// handler is the live HTTP handler; nil drops connections (the
 	// "coordinator process is down" window during a crash).
@@ -198,6 +221,28 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		cfg.Dir, ownDir = dir, true
 	}
 	h.dir = cfg.Dir
+
+	if !cfg.NoDecisionLog {
+		// One decision stream across every coordinator generation, like a
+		// restarting process appending to the same audit file. The queue is
+		// sized so a healthy soak never sheds a record (shedding under this
+		// sizing is itself an invariant-6 violation), and the flush interval
+		// is short so most records are on disk before a crash even lands.
+		h.decPath = filepath.Join(h.dir, "decisions.jsonl")
+		sink, err := declog.NewFileSink(h.decPath, declog.FileOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: decision log: %w", err)
+		}
+		h.dlog, err = declog.New(declog.Config{
+			Sink:          sink,
+			Capacity:      4 * cfg.Ops,
+			FlushInterval: 25 * time.Millisecond,
+			Logger:        logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: decision log: %w", err)
+		}
+	}
 
 	if err := h.openCoordinator(); err != nil {
 		return nil, err
@@ -359,7 +404,22 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 	if h.notifCancel != nil {
 		h.notifCancel()
 	}
+	finalTrace := co.Trace()
 	_ = co.Close()
+
+	// (6) Decision-log fidelity: with the stream closed (drained to disk),
+	// replay decisions.jsonl against the final recovered run and the ack
+	// ledger — no phantom accepted record, no acked-but-unlogged candidate.
+	decisions, decisionsDropped := 0, uint64(0)
+	if h.dlog != nil {
+		if err := h.dlog.Close(context.Background()); err != nil {
+			h.violatef("decision log close: %v", err)
+		}
+		st := h.dlog.Status()
+		decisionsDropped = st.Dropped
+		decisions = h.checkDecisions(finalTrace, st)
+		checks++
+	}
 
 	h.ackMu.Lock()
 	acked, ambiguous := len(h.acked), len(h.ambiguous)
@@ -375,6 +435,10 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		Faults:     faults,
 		Recoveries: recoveries,
 		Checks:     checks,
+
+		Decisions:        decisions,
+		DecisionsDropped: decisionsDropped,
+
 		Violations: h.violations,
 		Duration:   time.Since(start).String(),
 	}
@@ -520,6 +584,7 @@ func (h *harness) openCoordinator() error {
 		Sync:          wal.SyncAlways,
 		SnapshotEvery: h.cfg.SnapshotEvery,
 		Failpoints:    h.fp,
+		DecisionLog:   h.dlog,
 	})
 	if err != nil {
 		return fmt.Errorf("chaos: recovery failed: %w", err)
@@ -573,6 +638,10 @@ func (h *harness) crashRecover() {
 	if h.notifCancel != nil {
 		h.notifCancel()
 	}
+	// Crash() returned with the coordinator lock released, so every decision
+	// the dead generation emitted is queued; drain it the way a SIGTERM
+	// handler would, before the next generation appends its recovery record.
+	h.dlog.Flush(context.Background())
 	h.notifMu.Lock()
 	notified := h.notified
 	h.notified = nil
@@ -649,4 +718,102 @@ func (h *harness) checkInvariants(pre *trace.Trace, rec *server.Coordinator, not
 	if n := rec.WALCorruptRecords(); n != 0 {
 		h.violatef("recovery dropped %d corrupt records from an uncorrupted log", n)
 	}
+}
+
+// checkDecisions closes invariant 6 against the closed (fully drained)
+// decision stream. The stream is at-most-once by design, but under the
+// harness's regime — queue sized for the op budget, a Flush at every crash
+// (the drain a SIGTERM handler performs) — both directions are exact:
+//
+//   - no phantoms: accept records are emitted only after the event is
+//     durable, and crashes only ever cut the WAL above the durable offset,
+//     so every accepted record must name an (index, rule, valuation)
+//     present in the final recovered run;
+//   - no acked-but-unlogged: a client ack means either the original
+//     submission emitted an accept record or a retry was answered from the
+//     idempotency window and emitted a replay record, and neither may have
+//     been shed.
+//
+// Returns the number of records parsed.
+func (h *harness) checkDecisions(post *trace.Trace, st *declog.Status) int {
+	if st.Dropped != 0 {
+		h.violatef("decision pipeline shed %d records despite a queue sized for the op budget", st.Dropped)
+	}
+	if st.FailedRecords != 0 {
+		h.violatef("decision sink lost %d records (%d failed exports, last: %s)",
+			st.FailedRecords, st.ExportFailures, st.LastError)
+	}
+	f, err := os.Open(h.decPath)
+	if err != nil {
+		h.violatef("decision log: %v", err)
+		return 0
+	}
+	defer f.Close()
+
+	acceptedAt := make(map[int]string) // index → candidate, from accept records
+	acceptedX := make(map[string]int)  // candidate → index
+	replayedAt := make(map[int]bool)
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		n++
+		var d declog.Decision
+		if err := json.Unmarshal(line, &d); err != nil {
+			h.violatef("decision log record %d: %v", n, err)
+			continue
+		}
+		if d.Kind != declog.KindSubmit {
+			continue
+		}
+		switch d.Decision {
+		case declog.Accepted:
+			x := d.Valuation["x"]
+			if d.Index < 0 || d.Index >= len(post.Events) {
+				h.violatef("phantom accepted record: index %d (candidate %s) beyond the final recovered run (%d events)",
+					d.Index, x, len(post.Events))
+				continue
+			}
+			if ev := post.Events[d.Index]; ev.Rule != d.Rule || ev.Valuation["x"] != x {
+				h.violatef("accepted record diverges from the final run at index %d: logged %s(%s), run holds %s(%s)",
+					d.Index, d.Rule, x, ev.Rule, ev.Valuation["x"])
+				continue
+			}
+			if prev, dup := acceptedAt[d.Index]; dup {
+				h.violatef("index %d accepted twice in the decision log (%s, then %s)", d.Index, prev, x)
+			}
+			acceptedAt[d.Index] = x
+			acceptedX[x] = d.Index
+		case declog.Replayed:
+			if d.Index >= len(post.Events) {
+				h.violatef("phantom replay record: index %d beyond the final recovered run (%d events)",
+					d.Index, len(post.Events))
+			} else if d.Index >= 0 {
+				replayedAt[d.Index] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		h.violatef("decision log read: %v", err)
+	}
+
+	h.ackMu.Lock()
+	defer h.ackMu.Unlock()
+	for x, idx := range h.acked {
+		if aidx, ok := acceptedX[x]; ok {
+			if aidx != idx {
+				h.violatef("acked candidate %s: the client saw index %d but the accept record says %d", x, idx, aidx)
+			}
+			continue
+		}
+		if replayedAt[idx] {
+			continue
+		}
+		h.violatef("acked candidate %s (index %d) has neither an accepted nor a replayed decision record", x, idx)
+	}
+	return n
 }

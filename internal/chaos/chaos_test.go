@@ -25,8 +25,8 @@ func TestChaosQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("chaos summary: ops=%d acked=%d ambiguous=%d retries=%d injections=%d faults=%v recoveries=%d",
-		sum.Ops, sum.Acked, sum.Ambiguous, sum.Retries, sum.Injections, sum.Faults, sum.Recoveries)
+	t.Logf("chaos summary: ops=%d acked=%d ambiguous=%d retries=%d injections=%d faults=%v recoveries=%d decisions=%d",
+		sum.Ops, sum.Acked, sum.Ambiguous, sum.Retries, sum.Injections, sum.Faults, sum.Recoveries, sum.Decisions)
 	for _, v := range sum.Violations {
 		t.Errorf("invariant violated: %s", v)
 	}
@@ -43,5 +43,14 @@ func TestChaosQuick(t *testing.T) {
 	}
 	if sum.Acked == 0 {
 		t.Error("no operation was ever acknowledged — the harness made no progress")
+	}
+	// Invariant 6 ran for real: the stream must hold at least one decision
+	// per acknowledged submission plus one recovery record per generation.
+	if sum.Decisions < sum.Acked+sum.Recoveries {
+		t.Errorf("decision stream has %d records for %d acks and %d recoveries",
+			sum.Decisions, sum.Acked, sum.Recoveries)
+	}
+	if sum.DecisionsDropped != 0 {
+		t.Errorf("decision pipeline shed %d records", sum.DecisionsDropped)
 	}
 }

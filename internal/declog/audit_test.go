@@ -1,0 +1,267 @@
+package declog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"collabwf/internal/core"
+	"collabwf/internal/data"
+	"collabwf/internal/program"
+	"collabwf/internal/trace"
+	"collabwf/internal/workload"
+)
+
+// hiringLog drives the Hiring workflow locally and renders the decision log
+// a faithful coordinator would have produced for it: one guard install, the
+// accepted events of a clear→cfo_ok→approve→hire round, one applicability
+// rejection, one idempotent replay and one explain record with the true
+// digest. Returns the records and the run they describe.
+func hiringLog(t *testing.T) ([]Decision, *program.Run) {
+	t.Helper()
+	p := workload.Hiring()
+	run := program.NewRun(p)
+	var recs []Decision
+	recs = append(recs,
+		Decision{Seq: 1, Kind: KindRecover, Decision: Recovered, Index: -1},
+		Decision{Seq: 2, Kind: KindGuard, Decision: Installed, Peer: "sue", H: 3, Index: -1},
+	)
+	fire := func(rule string, bindings map[string]data.Value) {
+		t.Helper()
+		idx := run.Len()
+		e, err := run.FireRule(rule, bindings)
+		if err != nil {
+			t.Fatalf("firing %s: %v", rule, err)
+		}
+		rec := trace.EncodeEvent(e)
+		recs = append(recs, Decision{Seq: uint64(len(recs) + 1), Kind: KindSubmit,
+			Decision: Accepted, Peer: string(e.Rule.Peer), Rule: rule,
+			Valuation: rec.Valuation, Index: idx, RunLen: idx})
+	}
+	fire("clear", nil)
+	cand := run.Event(0).Updates[0].Key
+	// An applicability rejection decided against the 1-event prefix: approve
+	// needs the CFO's ok first.
+	recs = append(recs, Decision{Seq: uint64(len(recs) + 1), Kind: KindSubmit,
+		Decision: Rejected, Reason: "not_applicable", Peer: "ceo", Rule: "approve",
+		Valuation: map[string]string{"x": string(cand)}, Index: -1, RunLen: run.Len()})
+	fire("cfo_ok", map[string]data.Value{"x": cand})
+	fire("approve", map[string]data.Value{"x": cand})
+	fire("hire", map[string]data.Value{"x": cand})
+	// A client retry answered from the idempotency window.
+	recs = append(recs, Decision{Seq: uint64(len(recs) + 1), Kind: KindSubmit,
+		Decision: Replayed, Peer: "hr", Rule: "hire", Index: 3, RunLen: 3, IdemKey: "k1"})
+	// An explanation served over the full prefix, with its true digest.
+	rep := core.NewExplainerAt(run, "sue", run.Len()).Report()
+	recs = append(recs, Decision{Seq: uint64(len(recs) + 1), Kind: KindExplain,
+		Decision: Served, Peer: "sue", Index: -1, RunLen: run.Len(),
+		Digest: Digest(rep.String())})
+	return recs, run
+}
+
+func encodeLog(t *testing.T, recs []Decision) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := encodeJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestAuditFaithfulLog(t *testing.T) {
+	recs, run := hiringLog(t)
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("faithful log flagged: %v", rep.Mismatches)
+	}
+	if rep.RunLen != run.Len() || rep.Accepted != 4 || rep.Replayed != 1 ||
+		rep.Rejections != 1 || rep.Guards != 1 || rep.Explains != 1 || rep.Recovers != 1 {
+		t.Fatalf("report=%+v", rep)
+	}
+	if rep.RecheckedRejections != 1 || rep.RecheckedExplains != 1 {
+		t.Fatalf("rechecks not performed: %+v", rep)
+	}
+}
+
+func TestAuditDetectsTamperedAcceptance(t *testing.T) {
+	recs, _ := hiringLog(t)
+	for i := range recs {
+		// Claim the CFO's ok was for a candidate that was never cleared.
+		if recs[i].Rule == "cfo_ok" {
+			recs[i].Valuation = map[string]string{"x": "ghost"}
+		}
+	}
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("tampered acceptance not flagged")
+	}
+	// The run cannot replay past the broken record, so later accepted
+	// records must be reported as a gap, not silently dropped.
+	if rep.RunLen != 1 {
+		t.Fatalf("replay advanced past the tampered record: run_len=%d", rep.RunLen)
+	}
+}
+
+func TestAuditDetectsFalseRejection(t *testing.T) {
+	recs, _ := hiringLog(t)
+	cand := ""
+	for _, r := range recs {
+		if r.Rule == "cfo_ok" && r.Decision == Accepted {
+			cand = r.Valuation["x"]
+		}
+	}
+	// Claim hire was "not applicable" at the full prefix — it fires there.
+	recs = append(recs, Decision{Seq: uint64(len(recs) + 1), Kind: KindSubmit,
+		Decision: Rejected, Reason: "not_applicable", Peer: "hr", Rule: "hire",
+		Valuation: map[string]string{"x": cand}, Index: -1, RunLen: 4})
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("false rejection not flagged")
+	}
+}
+
+func TestAuditDetectsWrongExplainDigest(t *testing.T) {
+	recs, _ := hiringLog(t)
+	for i := range recs {
+		if recs[i].Kind == KindExplain {
+			recs[i].Digest = "0000000000000000"
+		}
+	}
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("wrong explain digest not flagged")
+	}
+}
+
+func TestAuditDetectsPhantomReplay(t *testing.T) {
+	recs, _ := hiringLog(t)
+	recs = append(recs, Decision{Seq: uint64(len(recs) + 1), Kind: KindSubmit,
+		Decision: Replayed, Peer: "hr", Rule: "hire", Index: 40, RunLen: 40})
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("replay beyond the run not flagged")
+	}
+}
+
+func TestAuditStructuralRejectionChecks(t *testing.T) {
+	p := workload.Hiring()
+	recs := []Decision{
+		// unknown_rule for a rule that exists → lie.
+		{Seq: 1, Kind: KindSubmit, Decision: Rejected, Reason: "unknown_rule",
+			Peer: "hr", Rule: "clear", Index: -1},
+		// wrong_peer for the rule's true owner → lie.
+		{Seq: 2, Kind: KindSubmit, Decision: Rejected, Reason: "wrong_peer",
+			Peer: "hr", Rule: "clear", Index: -1},
+	}
+	rep, err := Audit(p, encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mismatches) != 2 {
+		t.Fatalf("structural lies not flagged: %v", rep.Mismatches)
+	}
+	// The honest versions pass.
+	recs[0].Rule = "no_such_rule"
+	recs[1].Peer = "sue"
+	rep, err = Audit(p, encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("honest structural rejections flagged: %v", rep.Mismatches)
+	}
+}
+
+func TestAuditEmitOrderIndependence(t *testing.T) {
+	// Group commit can emit a rejection decided at prefix 1 after the accept
+	// of index 3 was queued. The audit keys on index/run_len, so shuffling
+	// the record order must not change the verdict.
+	recs, _ := hiringLog(t)
+	for i, j := 0, len(recs)-1; i < j; i, j = i+1, j-1 {
+		recs[i], recs[j] = recs[j], recs[i]
+	}
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("reversed emit order flagged: %v", rep.Mismatches)
+	}
+	if rep.RunLen != 4 {
+		t.Fatalf("run_len=%d", rep.RunLen)
+	}
+}
+
+func TestAuditRecheckCertify(t *testing.T) {
+	recs, _ := hiringLog(t)
+	// Hiring is NOT transparent for sue (sue never sees the approval stage),
+	// so a logged certified verdict is a lie the recheck catches.
+	recs = append(recs, Decision{Seq: uint64(len(recs) + 1), Kind: KindCertify,
+		Decision: Certified, Peer: "sue", H: 3, Index: -1})
+	search := core.Options{PoolFresh: 2, MaxTuplesPerRelation: 1}
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs),
+		AuditOptions{RecheckCertify: true, Search: search})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() || rep.RecheckedCertifies != 1 {
+		t.Fatalf("false certify verdict not flagged: %+v", rep)
+	}
+	// The true verdict (violation) passes the recheck.
+	recs[len(recs)-1].Decision = Violation
+	recs[len(recs)-1].Reason = "transparent"
+	rep, err = Audit(workload.Hiring(), encodeLog(t, recs),
+		AuditOptions{RecheckCertify: true, Search: search})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("true certify verdict flagged: %v", rep.Mismatches)
+	}
+	// Without RecheckCertify the record is counted but not recomputed.
+	rep, err = Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() || rep.RecheckedCertifies != 0 {
+		t.Fatalf("certify recheck must be opt-in: %+v", rep)
+	}
+}
+
+func TestAuditRejectsMalformedLog(t *testing.T) {
+	if _, err := Audit(workload.Hiring(), strings.NewReader("{\"seq\":1}\nnot json\n"), AuditOptions{}); err == nil {
+		t.Fatal("malformed log must error")
+	}
+}
+
+func TestAuditMismatchBound(t *testing.T) {
+	var recs []Decision
+	for i := 0; i < 10; i++ {
+		recs = append(recs, Decision{Seq: uint64(i + 1), Kind: "nonsense", Index: -1})
+	}
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{MaxMismatches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mismatches) != 3 || rep.Suppressed != 7 {
+		t.Fatalf("bound not applied: %d listed, %d suppressed", len(rep.Mismatches), rep.Suppressed)
+	}
+	if rep.Ok() {
+		t.Fatal("suppressed mismatches must still fail the audit")
+	}
+}

@@ -1,0 +1,356 @@
+package declog
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"collabwf/internal/obs"
+)
+
+// Sink receives exported decision batches. Export may block and retry
+// internally (the logger calls it off the emit path); an error means the
+// batch is lost — the logger counts it and moves on (at-most-once).
+type Sink interface {
+	Export(ctx context.Context, batch []Decision) error
+	// Describe names the sink for /statusz ("file:/path", "http://…").
+	Describe() string
+	Close() error
+}
+
+// encodeJSONL renders a batch as JSON Lines into buf.
+func encodeJSONL(buf *bytes.Buffer, batch []Decision) error {
+	enc := json.NewEncoder(buf)
+	for i := range batch {
+		if err := enc.Encode(&batch[i]); err != nil {
+			return fmt.Errorf("declog: encoding record %d: %w", batch[i].Seq, err)
+		}
+	}
+	return nil
+}
+
+// WriterSink writes JSON Lines to an io.Writer — the dev sink (stdout) and
+// the test harnesses' capture buffer.
+type WriterSink struct {
+	mu   sync.Mutex
+	w    io.Writer
+	name string
+}
+
+// NewWriterSink wraps w; name is the /statusz description ("stdout").
+func NewWriterSink(w io.Writer, name string) *WriterSink {
+	if name == "" {
+		name = "writer"
+	}
+	return &WriterSink{w: w, name: name}
+}
+
+func (s *WriterSink) Export(ctx context.Context, batch []Decision) error {
+	var buf bytes.Buffer
+	if err := encodeJSONL(&buf, batch); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.w.Write(buf.Bytes())
+	return err
+}
+
+func (s *WriterSink) Describe() string { return s.name }
+func (s *WriterSink) Close() error     { return nil }
+
+// FileOptions tunes a FileSink.
+type FileOptions struct {
+	// MaxBytes rotates the file once it exceeds this size (checked after
+	// each batch write, so one batch may overshoot). ≤ 0 disables rotation.
+	MaxBytes int64
+	// MaxFiles is how many rotated files are kept (path.1 … path.N, newest
+	// first; the oldest is deleted). ≤ 0 means 3.
+	MaxFiles int
+}
+
+// FileSink appends JSON Lines to a file, one write syscall per batch, with
+// optional size-based rotation. Batches survive process crashes up to the
+// OS page cache (the sink does not fsync: the WAL is the durability story;
+// the decision log is the audit story).
+type FileSink struct {
+	path string
+	opts FileOptions
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// NewFileSink opens (or creates) path for appending.
+func NewFileSink(path string, opts FileOptions) (*FileSink, error) {
+	if opts.MaxFiles <= 0 {
+		opts.MaxFiles = 3
+	}
+	s := &FileSink{path: path, opts: opts}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *FileSink) open() error {
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("declog: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("declog: %w", err)
+	}
+	s.f, s.size = f, st.Size()
+	return nil
+}
+
+func (s *FileSink) Export(ctx context.Context, batch []Decision) error {
+	var buf bytes.Buffer
+	if err := encodeJSONL(&buf, batch); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("declog: file sink %s is closed", s.path)
+	}
+	n, err := s.f.Write(buf.Bytes())
+	s.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("declog: writing %s: %w", s.path, err)
+	}
+	if s.opts.MaxBytes > 0 && s.size >= s.opts.MaxBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked shifts path.i → path.(i+1) (dropping the oldest), moves the
+// live file to path.1 and reopens a fresh one. Callers hold mu.
+func (s *FileSink) rotateLocked() error {
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("declog: rotating %s: %w", s.path, err)
+	}
+	s.f = nil
+	_ = os.Remove(fmt.Sprintf("%s.%d", s.path, s.opts.MaxFiles))
+	for i := s.opts.MaxFiles - 1; i >= 1; i-- {
+		from := fmt.Sprintf("%s.%d", s.path, i)
+		if _, err := os.Stat(from); err == nil {
+			_ = os.Rename(from, fmt.Sprintf("%s.%d", s.path, i+1))
+		}
+	}
+	if err := os.Rename(s.path, s.path+".1"); err != nil {
+		return fmt.Errorf("declog: rotating %s: %w", s.path, err)
+	}
+	return s.open()
+}
+
+func (s *FileSink) Describe() string { return "file:" + s.path }
+
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// HTTPOptions tunes an HTTPSink.
+type HTTPOptions struct {
+	// HTTPClient is the transport; nil means a dedicated http.Client.
+	HTTPClient *http.Client
+	// Timeout bounds each upload attempt; ≤ 0 means 5s.
+	Timeout time.Duration
+	// MaxRetries retries a retryable failure (connection errors, 429, 5xx)
+	// that many times before the batch is abandoned (at-most-once); < 0
+	// disables retries, 0 means 4.
+	MaxRetries int
+	// BaseBackoff is the first retry delay (doubles per attempt, full
+	// jitter, Retry-After honored); ≤ 0 means 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff and an honored Retry-After; ≤ 0 means 2s.
+	MaxBackoff time.Duration
+	// Rand seeds the jitter, for reproducible tests; nil uses a random seed.
+	Rand *rand.Rand
+	// Logger, when non-nil, logs retries at debug level.
+	Logger *slog.Logger
+	// NoGzip posts the JSONL body uncompressed (debugging).
+	NoGzip bool
+}
+
+// HTTPSink POSTs each batch as gzipped JSON Lines
+// (Content-Type application/x-ndjson, Content-Encoding gzip) with the same
+// retry discipline as internal/client: capped exponential backoff with full
+// jitter, Retry-After honored, definite 4xx failures never retried. A batch
+// that exhausts its retries is reported lost to the logger — the sink keeps
+// no queue of its own.
+type HTTPSink struct {
+	url  string
+	http *http.Client
+	opts HTTPOptions
+	log  *slog.Logger
+
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+// NewHTTPSink returns a sink uploading to url.
+func NewHTTPSink(url string, opts HTTPOptions) *HTTPSink {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 4
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = 50 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 2 * time.Second
+	}
+	rnd := opts.Rand
+	if rnd == nil {
+		rnd = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	s := &HTTPSink{url: url, http: hc, opts: opts, rnd: rnd, log: obs.Discard()}
+	if opts.Logger != nil {
+		s.log = opts.Logger
+	}
+	return s
+}
+
+// statusError is a non-2xx upload response.
+type statusError struct {
+	status     int
+	retryAfter int
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("declog: upload returned %d", e.status) }
+
+func (e *statusError) temporary() bool {
+	return e.status == http.StatusTooManyRequests || e.status >= 500
+}
+
+func (s *HTTPSink) Export(ctx context.Context, batch []Decision) error {
+	var raw bytes.Buffer
+	if err := encodeJSONL(&raw, batch); err != nil {
+		return err
+	}
+	body := raw.Bytes()
+	encoding := ""
+	if !s.opts.NoGzip {
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		if _, err := zw.Write(body); err == nil && zw.Close() == nil {
+			body, encoding = zbuf.Bytes(), "gzip"
+		}
+	}
+	backoff := s.opts.BaseBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := s.attempt(ctx, body, encoding)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var se *statusError
+		if errors.As(err, &se) && !se.temporary() {
+			return err
+		}
+		lastErr = err
+		if attempt >= s.opts.MaxRetries {
+			break
+		}
+		sleep := s.jitter(backoff)
+		if se != nil && se.retryAfter > 0 {
+			if ra := time.Duration(se.retryAfter) * time.Second; ra > sleep {
+				sleep = ra
+			}
+		}
+		if sleep > s.opts.MaxBackoff {
+			sleep = s.opts.MaxBackoff
+		}
+		s.log.Debug("retrying decision-log upload", slog.Int("attempt", attempt+1),
+			slog.Duration("sleep", sleep), slog.Any("error", err))
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		backoff *= 2
+		if backoff > s.opts.MaxBackoff {
+			backoff = s.opts.MaxBackoff
+		}
+	}
+	return fmt.Errorf("declog: giving up on batch after %d attempts: %w", s.opts.MaxRetries+1, lastErr)
+}
+
+func (s *HTTPSink) attempt(ctx context.Context, body []byte, encoding string) error {
+	actx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, s.url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("declog: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	resp, err := s.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("declog: uploading batch: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		se := &statusError{status: resp.StatusCode}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			se.retryAfter = ra
+		}
+		return se
+	}
+	return nil
+}
+
+// jitter draws a full-jitter delay in [d/2, d].
+func (s *HTTPSink) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	half := d / 2
+	return half + time.Duration(s.rnd.Int63n(int64(half)+1))
+}
+
+func (s *HTTPSink) Describe() string { return s.url }
+func (s *HTTPSink) Close() error     { return nil }

@@ -1,0 +1,57 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo is the binary's identity, read from the information the Go
+// linker embeds (runtime/debug.ReadBuildInfo): module path and version,
+// the VCS revision the binary was built from, and the toolchain.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Version   string `json:"version,omitempty"`
+	// Revision is the VCS commit hash ("" when built outside a checkout,
+	// e.g. `go test` binaries).
+	Revision string `json:"revision,omitempty"`
+	// Time is the commit timestamp, as recorded by the VCS.
+	Time string `json:"time,omitempty"`
+	// Dirty is true when the working tree had local modifications.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// ReadBuild extracts the embedded build identity. All fields degrade to
+// their zero values when the binary carries no build info.
+func ReadBuild() BuildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return BuildInfo{}
+	}
+	out := BuildInfo{
+		GoVersion: bi.GoVersion,
+		Path:      bi.Main.Path,
+		Version:   bi.Main.Version,
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.Time = s.Value
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// RegisterBuildInfo exposes the binary's identity as the conventional
+// constant gauge wf_build_info{go_version,version,revision} = 1, so a scrape
+// (or a PromQL join) can attribute every other series to the exact build
+// that produced it. Returns the info so callers can also print or serve it.
+func RegisterBuildInfo(r *Registry) BuildInfo {
+	b := ReadBuild()
+	r.GaugeVec("wf_build_info",
+		"Build identity of the running binary; constant 1.",
+		"go_version", "version", "revision").
+		With(b.GoVersion, b.Version, b.Revision).Set(1)
+	return b
+}

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	b := RegisterBuildInfo(reg)
+	if b.GoVersion == "" {
+		t.Fatal("test binaries still embed a toolchain version")
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "wf_build_info{") || !strings.Contains(out, `go_version="`+b.GoVersion+`"`) {
+		t.Fatalf("wf_build_info not exposed:\n%s", out)
+	}
+	if !strings.Contains(out, "} 1\n") {
+		t.Fatalf("wf_build_info must be the constant 1:\n%s", out)
+	}
+	// Idempotent: a second registration must not duplicate the family.
+	RegisterBuildInfo(reg)
+	var buf2 strings.Builder
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf2.String(), "# TYPE wf_build_info gauge") != 1 {
+		t.Fatal("duplicate wf_build_info family")
+	}
+}

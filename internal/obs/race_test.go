@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// These tests exist for the -race run: they drive the registry's lock-free
+// fast paths (counter adds, the histogram double-bank swap, exemplar
+// stores) against concurrent full scrapes, the exact interleaving a busy
+// /metrics endpoint sees in production. Correctness of the totals is
+// asserted too, but the detector is the point.
+
+func TestConcurrentScrapeDuringObservations(t *testing.T) {
+	reg := NewRegistry()
+	ctr := reg.Counter("race_ops_total", "ops")
+	hist := reg.Histogram("race_latency_seconds", "latency", nil)
+	gauge := reg.Gauge("race_depth", "depth")
+
+	const writers, perWriter, scrapes = 4, 2000, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ctr.Inc()
+				hist.Observe(float64(seed*i%10) / 100)
+				gauge.Set(float64(i))
+			}
+		}(w + 1)
+	}
+	// Scrapers run concurrently with the writers: every Gather snapshots
+	// each histogram via the bank swap while observations keep landing on
+	// the other bank.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < scrapes; i++ {
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("race_ops_total %d", writers*perWriter)
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("final scrape missing %q:\n%s", want, buf.String())
+	}
+	wantHist := fmt.Sprintf("race_latency_seconds_count %d", writers*perWriter)
+	if !strings.Contains(buf.String(), wantHist) {
+		t.Fatalf("bank swap lost observations, missing %q", wantHist)
+	}
+}
+
+func TestConcurrentExemplarsDuringOpenMetricsScrape(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.HistogramVec("race_req_seconds", "latency", nil, "route")
+
+	const writers, perWriter = 4, 1500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			h := hist.With(fmt.Sprintf("route%d", seed%2))
+			for i := 0; i < perWriter; i++ {
+				h.ObserveExemplar(float64(i%7)/10, fmt.Sprintf("%032x", seed*100000+i))
+			}
+		}(w)
+	}
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if err := reg.WriteOpenMetrics(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var buf strings.Builder
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# EOF") {
+		t.Fatal("OpenMetrics exposition missing EOF marker")
+	}
+	if !strings.Contains(out, "trace_id=") {
+		t.Fatalf("no exemplar survived the concurrent scrapes:\n%s", out)
+	}
+}
+
+func TestConcurrentGatherAndRegister(t *testing.T) {
+	// Registration is get-or-create and may race with a scrape when a lazily
+	// instrumented subsystem comes up mid-flight.
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Counter(fmt.Sprintf("race_family_%d_total", i%20), "help").Inc()
+				reg.CounterVec("race_labeled_total", "help", "kind").
+					With(fmt.Sprintf("k%d", seed)).Inc()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			for range reg.Gather() {
+			}
+		}
+	}()
+	wg.Wait()
+	fams := reg.Gather()
+	var total float64
+	for _, f := range fams {
+		if f.Name == "race_labeled_total" {
+			for _, s := range f.Series {
+				total += s.Value
+			}
+		}
+	}
+	if total != 4*200 {
+		t.Fatalf("labeled counter lost increments: %v", total)
+	}
+}

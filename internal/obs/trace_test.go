@@ -323,6 +323,84 @@ func TestTracesHandler(t *testing.T) {
 	}
 }
 
+func TestTracesHandlerFiltering(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := ContextWithTracer(context.Background(), tr)
+	// Five traces, the 2nd and 4th errored (in completion order).
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(ctx, "http /submit")
+		if i == 1 || i == 3 {
+			sp.SetError(errors.New("boom"))
+		}
+		sp.End()
+		ids = append(ids, sp.TraceID())
+	}
+	h := TracesHandler(tr)
+	get := func(url string) (int, struct {
+		Matched int `json:"matched"`
+		Traces  []struct {
+			TraceID string `json:"trace_id"`
+			Error   bool   `json:"error"`
+		} `json:"traces"`
+	}) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var out struct {
+			Matched int `json:"matched"`
+			Traces  []struct {
+				TraceID string `json:"trace_id"`
+				Error   bool   `json:"error"`
+			} `json:"traces"`
+		}
+		if rec.Code == http.StatusOK {
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("%s: %v", url, err)
+			}
+		}
+		return rec.Code, out
+	}
+
+	if code, out := get("/debug/traces?status=error"); code != http.StatusOK ||
+		out.Matched != 2 || len(out.Traces) != 2 {
+		t.Fatalf("status=error: code=%d out=%+v", code, out)
+	} else {
+		// Newest first: the trace from iteration 3 precedes iteration 1's.
+		if out.Traces[0].TraceID != ids[3] || out.Traces[1].TraceID != ids[1] {
+			t.Fatalf("error filter order: %+v (want %s then %s)", out.Traces, ids[3], ids[1])
+		}
+		for _, s := range out.Traces {
+			if !s.Error {
+				t.Fatalf("status=error returned a clean trace: %+v", s)
+			}
+		}
+	}
+	if code, out := get("/debug/traces?status=ok"); code != http.StatusOK || out.Matched != 3 {
+		t.Fatalf("status=ok: code=%d out=%+v", code, out)
+	}
+	if code, out := get("/debug/traces?limit=2"); code != http.StatusOK ||
+		out.Matched != 5 || len(out.Traces) != 2 || out.Traces[0].TraceID != ids[4] {
+		t.Fatalf("limit=2: code=%d out=%+v", code, out)
+	}
+	if code, out := get("/debug/traces?status=error&limit=1"); code != http.StatusOK ||
+		out.Matched != 2 || len(out.Traces) != 1 || out.Traces[0].TraceID != ids[3] {
+		t.Fatalf("status=error&limit=1: code=%d out=%+v", code, out)
+	}
+	if code, _ := get("/debug/traces?limit=0"); code != http.StatusOK {
+		t.Fatalf("limit=0 must be a valid empty listing: code=%d", code)
+	}
+	if code, _ := get("/debug/traces?status=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad status must 400: code=%d", code)
+	}
+	if code, _ := get("/debug/traces?limit=-1"); code != http.StatusBadRequest {
+		t.Fatalf("negative limit must 400: code=%d", code)
+	}
+	if code, _ := get("/debug/traces?limit=x"); code != http.StatusBadRequest {
+		t.Fatalf("non-numeric limit must 400: code=%d", code)
+	}
+}
+
 func TestDebugMuxServesTraces(t *testing.T) {
 	reg := NewRegistry()
 	tr := NewTracer(TracerOptions{})

@@ -6,17 +6,28 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 )
 
 // TracesHandler serves the flight recorder as JSON:
 //
-//	GET /debug/traces          recorder stats + one summary line per trace
-//	GET /debug/traces?id=<id>  the full span tree of one retained trace
+//	GET /debug/traces                    recorder stats + one summary line per trace
+//	GET /debug/traces?id=<id>            the full span tree of one retained trace
+//	GET /debug/traces?status=error       only traces whose root span errored
+//	GET /debug/traces?status=ok          only clean traces
+//	GET /debug/traces?limit=N            at most N summaries (newest kept)
 //
-// Like pprof, it belongs on the -debug-addr listener, not the public API.
+// status and limit compose; limit applies after the status filter so
+// "?status=error&limit=5" is the 5 most recent failures, the first thing an
+// operator wants during an incident. Like pprof, the handler belongs on the
+// -debug-addr listener, not the public API.
 func TracesHandler(t *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		badRequest := func(msg string) {
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+		}
 		if id := r.URL.Query().Get("id"); id != "" {
 			td := t.Trace(id)
 			if td == nil {
@@ -29,6 +40,20 @@ func TracesHandler(t *Tracer) http.Handler {
 			_ = enc.Encode(td)
 			return
 		}
+		status := r.URL.Query().Get("status")
+		if status != "" && status != "error" && status != "ok" {
+			badRequest(fmt.Sprintf("bad status %q, want error or ok", status))
+			return
+		}
+		limit := -1
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 0 {
+				badRequest(fmt.Sprintf("bad limit %q, want a non-negative integer", ls))
+				return
+			}
+			limit = n
+		}
 		type summary struct {
 			TraceID    string `json:"trace_id"`
 			Root       string `json:"root"`
@@ -38,11 +63,26 @@ func TracesHandler(t *Tracer) http.Handler {
 			Error      bool   `json:"error"`
 		}
 		traces := t.Traces()
-		out := struct {
-			Stats  TracerStats `json:"stats"`
-			Traces []summary   `json:"traces"`
-		}{Stats: t.Stats(), Traces: make([]summary, 0, len(traces))}
+		filtered := traces[:0:0]
 		for _, td := range traces {
+			if status == "error" && !td.Error || status == "ok" && td.Error {
+				continue
+			}
+			filtered = append(filtered, td)
+		}
+		matched := len(filtered)
+		if limit >= 0 && len(filtered) > limit {
+			// Traces() is newest-first; keep the head.
+			filtered = filtered[:limit]
+		}
+		out := struct {
+			Stats TracerStats `json:"stats"`
+			// Matched is the filter's hit count before limit truncation, so a
+			// truncated listing is never mistaken for the full set.
+			Matched int       `json:"matched"`
+			Traces  []summary `json:"traces"`
+		}{Stats: t.Stats(), Matched: matched, Traces: make([]summary, 0, len(filtered))}
+		for _, td := range filtered {
 			out.Traces = append(out.Traces, summary{
 				TraceID:    td.TraceID,
 				Root:       td.Root,

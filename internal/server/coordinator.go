@@ -23,6 +23,7 @@ import (
 
 	"collabwf/internal/core"
 	"collabwf/internal/data"
+	"collabwf/internal/declog"
 	"collabwf/internal/design"
 	"collabwf/internal/obs"
 	"collabwf/internal/program"
@@ -109,6 +110,10 @@ type Coordinator struct {
 	// mread mirrors metrics for the lock-free read paths, which must not
 	// touch mu to read the field Instrument sets under it.
 	mread atomic.Pointer[Metrics]
+	// dlog is the attached decision-log pipeline (nil when none); see
+	// declog.go. Atomic for the same reason as mread: certify/explain emit
+	// without the coordinator lock.
+	dlog atomic.Pointer[declog.Logger]
 
 	subs   map[schema.Peer]map[int]chan Notification
 	nextID int
@@ -201,6 +206,10 @@ func (c *Coordinator) Guard(peer schema.Peer, h int) error {
 			return fmt.Errorf("server: persisting guard: %w", err)
 		}
 	}
+	// Logged so an audit of the decision stream knows which policies the
+	// later submission verdicts were decided under.
+	c.emitDecision(context.Background(), declog.Decision{Kind: declog.KindGuard,
+		Decision: declog.Installed, Peer: string(peer), H: h, Index: -1})
 	return nil
 }
 
@@ -216,21 +225,29 @@ func (c *Coordinator) Certify(ctx context.Context, peer schema.Peer, h int, opts
 	prog := c.prog
 	m := c.metrics
 	c.mu.Unlock()
+	start := time.Now()
 	ctx, sp := obs.StartSpan(ctx, "server.certify")
 	sp.SetAttr("peer", string(peer))
 	sp.SetAttr("h", h)
 	defer sp.End()
+	// dd is the certification's decision record; every outcome path below
+	// sets the verdict, the deferred emit stamps latency and search effort.
+	dd := declog.Decision{Kind: declog.KindCertify, Peer: string(peer), H: h, Index: -1}
 	if !prog.Schema.HasPeer(peer) {
 		err := fmt.Errorf("server: unknown peer %s", peer)
 		sp.SetError(err)
+		dd.Decision, dd.Reason, dd.Detail = declog.Errored, "unknown_peer", err.Error()
+		dd.DurationNS = time.Since(start).Nanoseconds()
+		c.emitDecision(ctx, dd)
 		return err
 	}
-	// The registry and the trace both see the search effort of every Certify
-	// call: collect Stats (into the caller's collector when one is given),
-	// fold the delta into the decider families afterwards, and stamp the
-	// same delta on the span. Tracing forces collection too, so a /certify
-	// trace always carries its node/cache counters.
-	if (m != nil || sp != nil) && opts.Stats == nil {
+	// The registry, the trace and the decision log all see the search effort
+	// of every Certify call: collect Stats (into the caller's collector when
+	// one is given), fold the delta into the decider families afterwards,
+	// and stamp the same delta on the span and the decision record. Tracing
+	// forces collection too, so a /certify trace always carries its
+	// node/cache counters.
+	if (m != nil || sp != nil || c.dlog.Load() != nil) && opts.Stats == nil {
 		opts.Stats = &transparency.Stats{}
 	}
 	var before transparency.Stats
@@ -246,32 +263,43 @@ func (c *Coordinator) Certify(ctx context.Context, peer schema.Peer, h int, opts
 			sp.SetAttr("cache_misses", d.CacheMisses)
 			sp.SetAttr("states", d.States)
 			sp.SetAttr("workers", d.Workers)
+			dd.Search = &declog.SearchStats{Nodes: d.Nodes, CacheHits: d.CacheHits,
+				CacheMisses: d.CacheMisses, States: d.States, Workers: d.Workers}
 		}
+		dd.DurationNS = time.Since(start).Nanoseconds()
+		c.emitDecision(ctx, dd)
 	}()
+	certifyErr := func(check string, err error) error {
+		dd.Decision, dd.Reason, dd.Detail = declog.Errored, check, err.Error()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			dd.Reason = "cancelled"
+		}
+		sp.SetError(err)
+		return err
+	}
 	bv, err := core.CheckBoundedCtx(ctx, prog, peer, h, opts)
 	m.deciderOutcome("bounded", bv != nil, err)
 	if err != nil {
-		err = fmt.Errorf("server: certifying %s: %w", peer, err)
-		sp.SetError(err)
-		return err
+		return certifyErr("bounded", fmt.Errorf("server: certifying %s: %w", peer, err))
 	}
 	if bv != nil {
 		err := fmt.Errorf("server: %s is not %d-bounded: %s", peer, h, bv)
 		sp.SetError(err)
+		dd.Decision, dd.Reason, dd.Detail = declog.Violation, "bounded", err.Error()
 		return err
 	}
 	tv, err := core.CheckTransparentCtx(ctx, prog, peer, h, opts)
 	m.deciderOutcome("transparent", tv != nil, err)
 	if err != nil {
-		err = fmt.Errorf("server: certifying %s: %w", peer, err)
-		sp.SetError(err)
-		return err
+		return certifyErr("transparent", fmt.Errorf("server: certifying %s: %w", peer, err))
 	}
 	if tv != nil {
 		err := fmt.Errorf("server: program is not transparent for %s: %s", peer, tv)
 		sp.SetError(err)
+		dd.Decision, dd.Reason, dd.Detail = declog.Violation, "transparent", err.Error()
 		return err
 	}
+	dd.Decision = declog.Certified
 	return nil
 }
 
@@ -312,27 +340,43 @@ func (c *Coordinator) submitCtx(ctx context.Context, peer schema.Peer, ruleName 
 		sp.SetError(err)
 		return nil, err
 	}
+	// dd is the submission's decision record; every reject path fills in
+	// the reason and emits before returning, acceptLocked emits the accept.
+	dd := declog.Decision{Kind: declog.KindSubmit, Decision: declog.Rejected,
+		Peer: string(peer), Rule: ruleName, Index: -1, IdemKey: idemKey, TraceID: sp.TraceID()}
+	rejectLog := func(reason, detail string) {
+		dd.Reason, dd.Detail, dd.RunLen = reason, detail, c.run.Len()
+		c.emitDecision(ctx, dd)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		c.metrics.rejected("closed")
+		rejectLog("closed", "")
 		return reject(fmt.Errorf("%w: coordinator is shut down", ErrUnavailable))
 	}
 	rl := c.prog.Rule(ruleName)
 	if rl == nil {
 		c.metrics.rejected("unknown_rule")
+		rejectLog("unknown_rule", "")
 		return reject(fmt.Errorf("server: unknown rule %s", ruleName))
 	}
 	if rl.Peer != peer {
 		c.metrics.rejected("wrong_peer")
+		rejectLog("wrong_peer", "")
 		return reject(fmt.Errorf("server: rule %s belongs to %s, not %s", ruleName, rl.Peer, peer))
 	}
 	prevLen := c.run.Len()
 	e, err := c.run.FireRule(ruleName, bindings)
 	if err != nil {
 		c.metrics.rejected("not_applicable")
+		dd.Valuation = encodeBindings(bindings)
+		rejectLog("not_applicable", err.Error())
 		return reject(err)
 	}
+	// The event exists from here on: rejections log its full valuation so
+	// an audit can re-fire it against the same prefix.
+	dd.Valuation = trace.EncodeEvent(e).Valuation
 	// Guard check: each guard's monitor is synced incrementally (one step
 	// per event); only a rejection pays the O(run) rollback rebuild.
 	gctx, gsp := obs.StartSpan(ctx, "coordinator.guard_check")
@@ -347,6 +391,8 @@ func (c *Coordinator) submitCtx(ctx context.Context, peer schema.Peer, ruleName 
 			gsp.End()
 			c.rollbackTo(ctx, prevLen)
 			c.metrics.rejected("guard")
+			dd.Guarded = string(guarded)
+			rejectLog("guard", reason)
 			c.logw().InfoContext(gctx, "submission rejected by guard",
 				slog.String("peer", string(peer)), slog.String("rule", ruleName),
 				slog.String("guarded", string(guarded)), slog.String("reason", reason))
@@ -367,7 +413,7 @@ func (c *Coordinator) submitCtx(ctx context.Context, peer schema.Peer, ruleName 
 		}
 	}
 	if c.log == nil {
-		c.acceptLocked(ctx, sp, peer, ruleName, idx)
+		c.acceptLocked(ctx, sp, peer, ruleName, idx, idemKey)
 		return res, nil
 	}
 	// Log-before-accept: the event must be durable before any peer can
@@ -379,11 +425,12 @@ func (c *Coordinator) submitCtx(ctx context.Context, peer schema.Peer, ruleName 
 		if err := c.log.AppendCtx(ctx, rec); err != nil {
 			c.rollbackTo(ctx, prevLen)
 			c.metrics.rejected("wal")
+			rejectLog("wal", err.Error())
 			c.logw().ErrorContext(ctx, "event not durable, submission rejected",
 				slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
 			return reject(fmt.Errorf("%w: event not durable: %w", ErrUnavailable, err))
 		}
-		c.acceptLocked(ctx, sp, peer, ruleName, idx)
+		c.acceptLocked(ctx, sp, peer, ruleName, idx, idemKey)
 		c.maybeSnapshotLocked(ctx)
 		return res, nil
 	}
@@ -393,6 +440,7 @@ func (c *Coordinator) submitCtx(ctx context.Context, peer schema.Peer, ruleName 
 		// truncated away, so only this event rolls back.
 		c.rollbackTo(ctx, prevLen)
 		c.metrics.rejected("wal")
+		rejectLog("wal", err.Error())
 		c.logw().ErrorContext(ctx, "event not durable, submission rejected",
 			slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
 		return reject(fmt.Errorf("%w: event not durable: %w", ErrUnavailable, err))
@@ -420,6 +468,7 @@ func (c *Coordinator) submitCtx(ctx context.Context, peer schema.Peer, ruleName 
 			// a recovered coordinator could hold the event. The client retries
 			// with its idempotency key and the recovered window dedupes.
 			c.metrics.rejected("wal")
+			rejectLog("wal", err.Error())
 			return reject(fmt.Errorf("%w: commit outcome unknown: %w", ErrUnavailable, err))
 		}
 		// The group sync failed: the WAL already truncated every record
@@ -427,12 +476,13 @@ func (c *Coordinator) submitCtx(ctx context.Context, peer schema.Peer, ruleName 
 		// the same events before any became observable) and resume.
 		c.handleWALStallLocked(ctx)
 		c.metrics.rejected("wal")
+		rejectLog("wal", err.Error())
 		c.logw().ErrorContext(ctx, "event not durable, submission rejected",
 			slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Any("error", err))
 		return reject(fmt.Errorf("%w: event not durable: %w", ErrUnavailable, err))
 	}
 	sp.SetAttr("batch", cm.BatchSize())
-	c.acceptLocked(ctx, sp, peer, ruleName, idx)
+	c.acceptLocked(ctx, sp, peer, ruleName, idx, idemKey)
 	c.maybeSnapshotLocked(ctx)
 	return res, nil
 }
@@ -441,12 +491,21 @@ func (c *Coordinator) submitCtx(ctx context.Context, peer schema.Peer, ruleName 
 // up to it to observers. With pipelined commits a submitter can find its
 // event already released (a later submitter in the same durable batch
 // re-acquired the lock first); releaseLocked is idempotent for that case.
-func (c *Coordinator) acceptLocked(ctx context.Context, sp *obs.Span, peer schema.Peer, ruleName string, idx int) {
+func (c *Coordinator) acceptLocked(ctx context.Context, sp *obs.Span, peer schema.Peer, ruleName string, idx int, idemKey string) {
 	sp.SetAttr("index", idx)
 	c.logw().DebugContext(ctx, "submission accepted",
 		slog.String("peer", string(peer)), slog.String("rule", ruleName), slog.Int("index", idx))
 	c.releaseLocked(ctx, idx)
 	c.metrics.accepted(c.observable)
+	// The accept record is emitted only after the event is durable and
+	// released: RunLen is the prefix length the event extended (== Index),
+	// and the valuation rides along so an audit can replay the run from the
+	// log alone.
+	if c.dlog.Load() != nil {
+		c.emitDecision(ctx, declog.Decision{Kind: declog.KindSubmit, Decision: declog.Accepted,
+			Peer: string(peer), Rule: ruleName, Valuation: trace.EncodeEvent(c.run.Event(idx)).Valuation,
+			Index: idx, RunLen: idx, IdemKey: idemKey, TraceID: sp.TraceID()})
+	}
 	if c.log != nil {
 		c.sinceSnapshot++
 	}
@@ -772,20 +831,50 @@ func (c *Coordinator) View(peer schema.Peer) (string, error) {
 // assembled from precomputed explanations — no maintenance work happens on
 // the read path.
 func (c *Coordinator) Explain(peer schema.Peer) (*core.Report, error) {
+	rep, _, err := c.explainWithLen(peer)
+	return rep, err
+}
+
+// explainWithLen is Explain plus the released-prefix length the report was
+// assembled over — the decision log records it so an audit can recompute the
+// same report against the same prefix.
+func (c *Coordinator) explainWithLen(peer schema.Peer) (*core.Report, int, error) {
 	if s := c.readSnapshot(); s != nil {
 		if !s.prog.Schema.HasPeer(peer) {
-			return nil, unknownPeerErr(peer)
+			return nil, 0, unknownPeerErr(peer)
 		}
 		c.readMetrics().readPath(true)
-		return s.exp[peer].ReportOver(s, s.vis[peer]), nil
+		return s.exp[peer].ReportOver(s, s.vis[peer]), s.Len(), nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.prog.Schema.HasPeer(peer) {
-		return nil, unknownPeerErr(peer)
+		return nil, 0, unknownPeerErr(peer)
 	}
 	c.readMetrics().readPath(false)
-	return c.explainer(peer).Report(), nil
+	return c.explainer(peer).Report(), c.observable, nil
+}
+
+// ExplainCtx is Explain with decision logging: each request emits one record
+// carrying the released-prefix length it was served against and a digest of
+// the rendered report, so `wfrun -audit` can recompute the explanation and
+// prove the served report faithful. The digest is only computed when a
+// decision log is attached — the plain read path stays allocation-light.
+func (c *Coordinator) ExplainCtx(ctx context.Context, peer schema.Peer) (*core.Report, error) {
+	if c.dlog.Load() == nil {
+		return c.Explain(peer)
+	}
+	start := time.Now()
+	rep, n, err := c.explainWithLen(peer)
+	dd := declog.Decision{Kind: declog.KindExplain, Peer: string(peer), Index: -1, RunLen: n,
+		DurationNS: time.Since(start).Nanoseconds()}
+	if err != nil {
+		dd.Decision, dd.Reason, dd.Detail = declog.Errored, "unknown_peer", err.Error()
+	} else {
+		dd.Decision, dd.Digest = declog.Served, declog.Digest(rep.String())
+	}
+	c.emitDecision(ctx, dd)
+	return rep, err
 }
 
 // Scenario returns the peer's minimal faithful scenario indices.

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"context"
+
+	"collabwf/internal/data"
+	"collabwf/internal/declog"
+	"collabwf/internal/obs"
+)
+
+// SetDecisionLog attaches a decision-log pipeline: from now on every
+// submission verdict, certification, explanation request and guard
+// installation emits one structured record (see internal/declog). Detach
+// with nil. The coordinator does not own the logger — the caller drains and
+// closes it after Close, so records of the final submissions are exported.
+//
+// Emission is strictly fire-and-forget: Emit never blocks (full queues drop
+// their oldest record), so the decision log can never backpressure the
+// submission path.
+func (c *Coordinator) SetDecisionLog(l *declog.Logger) {
+	c.dlog.Store(l)
+}
+
+// DecisionLog returns the attached pipeline, nil when none.
+func (c *Coordinator) DecisionLog() *declog.Logger {
+	return c.dlog.Load()
+}
+
+// emitDecision stamps the workflow name and the request's trace id onto d
+// and emits it. Nil-safe (no logger attached → no-op). c.name is immutable
+// once the coordinator is handed out (Recover rewrites it before
+// returning), so the lock-free read is safe — the same discipline logw
+// relies on.
+func (c *Coordinator) emitDecision(ctx context.Context, d declog.Decision) {
+	l := c.dlog.Load()
+	if l == nil {
+		return
+	}
+	d.Workflow = c.name
+	if d.TraceID == "" {
+		d.TraceID = obs.SpanFrom(ctx).TraceID()
+	}
+	l.Emit(d)
+}
+
+// encodeBindings renders request bindings in the trace wire encoding, for
+// rejection records of events that never came to exist (not_applicable).
+func encodeBindings(bindings map[string]data.Value) map[string]string {
+	if len(bindings) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(bindings))
+	for k, v := range bindings {
+		out[k] = string(v)
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"collabwf/internal/core"
+	"collabwf/internal/data"
+	"collabwf/internal/declog"
+	"collabwf/internal/design"
+	"collabwf/internal/wal"
+	"collabwf/internal/workload"
+)
+
+// newTestDeclog wires a fresh logger over a capture buffer. flush drains it
+// and returns the decoded records.
+func newTestDeclog(t *testing.T) (*declog.Logger, func() []declog.Decision) {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := declog.NewWriterSink(&buf, "test")
+	l, err := declog.New(declog.Config{Sink: sink, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close(context.Background()) })
+	return l, func() []declog.Decision {
+		l.Flush(context.Background())
+		var out []declog.Decision
+		dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+		for dec.More() {
+			var d declog.Decision
+			if err := dec.Decode(&d); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, d)
+		}
+		return out
+	}
+}
+
+func find(recs []declog.Decision, kind, decision string) []declog.Decision {
+	var out []declog.Decision
+	for _, d := range recs {
+		if d.Kind == kind && d.Decision == decision {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestCoordinatorEmitsSubmissionDecisions(t *testing.T) {
+	c := New("Hiring", workload.Hiring())
+	l, flush := newTestDeclog(t)
+	c.SetDecisionLog(l)
+
+	res, err := c.Submit("hr", "clear", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := data.Value(strings.TrimSuffix(strings.TrimPrefix(res.Updates[0], "+Cleared("), ")"))
+	if _, err := c.Submit("hr", "nope", nil); err == nil {
+		t.Fatal("unknown rule must be rejected")
+	}
+	if _, err := c.Submit("sue", "clear", nil); err == nil {
+		t.Fatal("wrong peer must be rejected")
+	}
+	if _, err := c.Submit("ceo", "approve", map[string]data.Value{"x": "ghost"}); err == nil {
+		t.Fatal("inapplicable rule must be rejected")
+	}
+	if _, err := c.Submit("cfo", "cfo_ok", map[string]data.Value{"x": cand}); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := flush()
+	acc := find(recs, declog.KindSubmit, declog.Accepted)
+	if len(acc) != 2 {
+		t.Fatalf("accepted records: %d, want 2", len(acc))
+	}
+	if acc[0].Rule != "clear" || acc[0].Index != 0 || acc[0].Workflow != "Hiring" {
+		t.Fatalf("accept record=%+v", acc[0])
+	}
+	if acc[1].Rule != "cfo_ok" || acc[1].Valuation["x"] != string(cand) {
+		t.Fatalf("accept record must carry the valuation: %+v", acc[1])
+	}
+	rej := find(recs, declog.KindSubmit, declog.Rejected)
+	reasons := map[string]bool{}
+	for _, d := range rej {
+		reasons[d.Reason] = true
+	}
+	for _, want := range []string{"unknown_rule", "wrong_peer", "not_applicable"} {
+		if !reasons[want] {
+			t.Fatalf("missing %s rejection in %v", want, reasons)
+		}
+	}
+
+	// The stream must audit clean against the same program.
+	var jsonl bytes.Buffer
+	enc := json.NewEncoder(&jsonl)
+	for _, d := range recs {
+		if err := enc.Encode(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := declog.Audit(workload.Hiring(), &jsonl, declog.AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("coordinator's own log fails its audit: %v", rep.Mismatches)
+	}
+}
+
+func TestCoordinatorEmitsGuardAndCertifyDecisions(t *testing.T) {
+	staged, err := design.Staged(workload.Hiring(), "sue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New("Staged", staged)
+	l, flush := newTestDeclog(t)
+	c.SetDecisionLog(l)
+
+	if err := c.Guard("sue", 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Submit("hr", "stage_refresh_hr", nil)
+	res, _ := c.Submit("hr", "clear", nil)
+	cand := data.Value(strings.TrimSuffix(strings.TrimPrefix(res.Updates[0], "+Cleared("), ")"))
+	c.Submit("cfo", "stage_refresh_cfo", nil)
+	c.Submit("cfo", "cfo_ok", map[string]data.Value{"x": cand})
+	c.Submit("ceo", "approve", map[string]data.Value{"x": cand})
+	if _, err := c.Submit("hr", "hire", map[string]data.Value{"x": cand}); err == nil {
+		t.Fatal("over-budget hire must be rejected by the guard")
+	}
+	recs := flush()
+	if g := find(recs, declog.KindGuard, declog.Installed); len(g) != 1 || g[0].Peer != "sue" || g[0].H != 2 {
+		t.Fatalf("guard records=%+v", g)
+	}
+	grej := find(recs, declog.KindSubmit, declog.Rejected)
+	var guardRej *declog.Decision
+	for i := range grej {
+		if grej[i].Reason == "guard" {
+			guardRej = &grej[i]
+		}
+	}
+	if guardRej == nil || guardRej.Guarded != "sue" || guardRej.Detail == "" ||
+		guardRej.Rule != "hire" || len(guardRej.Valuation) == 0 {
+		t.Fatalf("guard rejection=%+v", guardRej)
+	}
+}
+
+func TestCoordinatorEmitsCertifyDecisions(t *testing.T) {
+	c := New("Hiring", workload.Hiring())
+	l, flush := newTestDeclog(t)
+	c.SetDecisionLog(l)
+
+	// Hiring is not transparent for sue, so certification reports the
+	// violation as an error to the caller and a violation to the log.
+	err := c.Certify(context.Background(), "sue", 3,
+		core.Options{PoolFresh: 2, MaxTuplesPerRelation: 1})
+	if err == nil {
+		t.Fatal("certify must report the transparency violation")
+	}
+	if err := c.Certify(context.Background(), "nobody", 3, core.Options{}); err == nil {
+		t.Fatal("unknown peer must fail")
+	}
+
+	recs := flush()
+	viol := find(recs, declog.KindCertify, declog.Violation)
+	if len(viol) != 1 || viol[0].H != 3 || viol[0].Reason == "" {
+		t.Fatalf("certify violation records=%+v", viol)
+	}
+	if viol[0].Search == nil || viol[0].Search.Nodes == 0 {
+		t.Fatalf("certify record must carry search effort: %+v", viol[0].Search)
+	}
+	if viol[0].DurationNS <= 0 {
+		t.Fatalf("certify record must carry latency: %+v", viol[0])
+	}
+	cerr := find(recs, declog.KindCertify, declog.Errored)
+	if len(cerr) != 1 || cerr[0].Reason != "unknown_peer" {
+		t.Fatalf("certify error records=%+v", cerr)
+	}
+}
+
+func TestCoordinatorEmitsExplainAndReplayDecisions(t *testing.T) {
+	c := New("Hiring", workload.Hiring())
+	l, flush := newTestDeclog(t)
+	c.SetDecisionLog(l)
+	ctx := context.Background()
+
+	if _, err := c.SubmitIdemCtx(ctx, "hr", "clear", nil, "key-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitIdemCtx(ctx, "hr", "clear", nil, "key-1"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.ExplainCtx(ctx, "sue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExplainCtx(ctx, "nobody"); err == nil {
+		t.Fatal("unknown peer must fail")
+	}
+
+	recs := flush()
+	if acc := find(recs, declog.KindSubmit, declog.Accepted); len(acc) != 1 {
+		t.Fatalf("accepted=%d, want 1 (idempotent retry must not re-accept)", len(acc))
+	}
+	replays := find(recs, declog.KindSubmit, declog.Replayed)
+	if len(replays) != 1 || replays[0].IdemKey != "key-1" || replays[0].Index != 0 {
+		t.Fatalf("replay records=%+v", replays)
+	}
+	served := find(recs, declog.KindExplain, declog.Served)
+	if len(served) != 1 || served[0].Peer != "sue" || served[0].RunLen != 1 {
+		t.Fatalf("explain records=%+v", served)
+	}
+	if served[0].Digest != declog.Digest(rep.String()) {
+		t.Fatalf("explain digest %s does not match the served report", served[0].Digest)
+	}
+	if e := find(recs, declog.KindExplain, declog.Errored); len(e) != 1 {
+		t.Fatalf("explain error records=%+v", e)
+	}
+}
+
+func TestRecoveryOpensDecisionStream(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Recover("Hiring", workload.Hiring(), DurabilityConfig{Dir: dir, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Guard("sue", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("hr", "clear", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, flush := newTestDeclog(t)
+	c2, err := Recover("Hiring", workload.Hiring(), DurabilityConfig{
+		Dir: dir, Sync: wal.SyncAlways, DecisionLog: l,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	recs := flush()
+	rec := find(recs, declog.KindRecover, declog.Recovered)
+	if len(rec) != 1 || rec[0].RunLen != 1 || rec[0].Workflow != "Hiring" {
+		t.Fatalf("recover records=%+v", rec)
+	}
+	g := find(recs, declog.KindGuard, declog.Installed)
+	if len(g) != 1 || g[0].Peer != "sue" || g[0].H != 3 || g[0].Reason != "recovered" {
+		t.Fatalf("recovered guard records=%+v", g)
+	}
+}
+
+func TestDecisionLogNeverBlocksSubmissions(t *testing.T) {
+	// A sink that hangs forever must not stall the coordinator: records
+	// accumulate in the ring (dropping the oldest), submissions proceed.
+	blocked := make(chan struct{})
+	t.Cleanup(func() { close(blocked) })
+	sink := blockingSink{unblock: blocked}
+	l, err := declog.New(declog.Config{Sink: sink, Capacity: 8, BatchSize: 1,
+		FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New("Hiring", workload.Hiring())
+	c.SetDecisionLog(l)
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 100; i++ {
+			if _, err := c.Submit("hr", "clear", nil); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("submissions blocked behind a hung decision-log sink")
+	}
+	if st := l.Status(); st.Dropped == 0 {
+		t.Fatalf("drop-oldest must have engaged: %+v", st)
+	}
+	// The cleanup closes `blocked`, releasing the hung export so the
+	// flusher goroutine can exit; Close is deliberately not called here —
+	// a hung sink parks the flusher until its context or channel yields.
+}
+
+type blockingSink struct{ unblock chan struct{} }
+
+func (s blockingSink) Export(ctx context.Context, batch []declog.Decision) error {
+	select {
+	case <-s.unblock:
+	case <-ctx.Done():
+	}
+	return ctx.Err()
+}
+func (s blockingSink) Describe() string { return "blocking" }
+func (s blockingSink) Close() error     { return nil }
+
+func TestStatuszReportsDecisionLogAndBuild(t *testing.T) {
+	c := New("Hiring", workload.Hiring())
+	l, _ := newTestDeclog(t)
+	c.SetDecisionLog(l)
+	c.Submit("hr", "clear", nil)
+
+	rr := httptest.NewRecorder()
+	StatuszHandler(c, nil).ServeHTTP(rr, httptest.NewRequest("GET", "/statusz", nil))
+	var st Statusz
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DecisionLog == nil || st.DecisionLog.Sink != "test" || st.DecisionLog.Emitted == 0 {
+		t.Fatalf("statusz decision_log=%+v", st.DecisionLog)
+	}
+	if st.Build.GoVersion == "" {
+		t.Fatalf("statusz build=%+v", st.Build)
+	}
+}

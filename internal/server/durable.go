@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"collabwf/internal/core"
+	"collabwf/internal/declog"
 	"collabwf/internal/design"
 	"collabwf/internal/obs"
 	"collabwf/internal/program"
@@ -50,6 +51,12 @@ type DurabilityConfig struct {
 	// Logger, when non-nil, lets the WAL report recovery anomalies
 	// (corruption, torn tails) through the "wal" subsystem.
 	Logger *slog.Logger
+	// DecisionLog, when non-nil, is attached before recovery completes, so
+	// the audit stream opens with the recovery record and the re-installed
+	// guards — an auditor reading the log from this boot sees which policies
+	// every later verdict was decided under. The coordinator does not own
+	// the logger; close it after Close.
+	DecisionLog *declog.Logger
 }
 
 // NewDurable starts a durable coordinator rooted at cfg.Dir. If the
@@ -161,6 +168,21 @@ func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinato
 	c.viewStrs.Range(func(k, _ any) bool { c.viewStrs.Delete(k); return true })
 	c.publishSnapshotLocked()
 	c.observeRecovery(time.Since(start), c.run.Len())
+	if cfg.DecisionLog != nil {
+		c.dlog.Store(cfg.DecisionLog)
+		// Open this boot's audit stream: one recovery record, then the
+		// guards now in force. Re-logging recovered guards is deliberate —
+		// each log segment is independently auditable — and the auditor
+		// treats a re-install with an unchanged bound as benign.
+		c.emitDecision(context.Background(), declog.Decision{Kind: declog.KindRecover,
+			Decision: declog.Recovered, RunLen: c.run.Len(), Index: -1,
+			DurationNS: time.Since(start).Nanoseconds()})
+		for peer, h := range c.guards {
+			c.emitDecision(context.Background(), declog.Decision{Kind: declog.KindGuard,
+				Decision: declog.Installed, Peer: string(peer), H: h, Index: -1,
+				Reason: "recovered"})
+		}
+	}
 	return c, nil
 }
 

@@ -150,7 +150,7 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 	})
 
 	handle("/explain", func(w http.ResponseWriter, r *http.Request) {
-		rep, err := c.Explain(peerParam(r))
+		rep, err := c.ExplainCtx(r.Context(), peerParam(r))
 		if err != nil {
 			httpError(w, http.StatusNotFound, err)
 			return

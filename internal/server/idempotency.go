@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"collabwf/internal/data"
+	"collabwf/internal/declog"
 	"collabwf/internal/schema"
 	"collabwf/internal/wal"
 )
@@ -48,6 +49,7 @@ func (c *Coordinator) SubmitIdemCtx(ctx context.Context, peer schema.Peer, ruleN
 			res, m := ent.res, c.metrics
 			c.mu.Unlock()
 			m.idemReplay()
+			c.emitReplay(ctx, peer, ruleName, key, res)
 			return res, nil
 		default:
 		}
@@ -61,6 +63,7 @@ func (c *Coordinator) SubmitIdemCtx(ctx context.Context, peer schema.Peer, ruleN
 		}
 		if ent.err == nil {
 			c.metrics.idemReplay()
+			c.emitReplay(ctx, peer, ruleName, key, ent.res)
 			return ent.res, nil
 		}
 		c.mu.Lock()
@@ -84,6 +87,21 @@ func (c *Coordinator) SubmitIdemCtx(ctx context.Context, peer schema.Peer, ruleN
 	close(ent.done)
 	c.mu.Unlock()
 	return res, err
+}
+
+// emitReplay records an idempotent replay in the decision log: the client
+// was acked (again) for an already-applied submission, so the audit trail
+// must show a record for this ack even though no new event was appended.
+func (c *Coordinator) emitReplay(ctx context.Context, peer schema.Peer, ruleName, key string, res *SubmitResult) {
+	if c.dlog.Load() == nil {
+		return
+	}
+	idx := -1
+	if res != nil {
+		idx = res.Index
+	}
+	c.emitDecision(ctx, declog.Decision{Kind: declog.KindSubmit, Decision: declog.Replayed,
+		Peer: string(peer), Rule: ruleName, Index: idx, RunLen: idx, IdemKey: key})
 }
 
 // evictIdemLocked trims the dedupe window to its bound, oldest key first.

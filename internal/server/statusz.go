@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"collabwf/internal/declog"
 	"collabwf/internal/obs"
 )
 
@@ -30,6 +31,12 @@ type Statusz struct {
 	// Snapshot describes the published lock-free read snapshot: sequence
 	// number (publications so far), age, and covered events.
 	Snapshot SnapshotStatus `json:"snapshot"`
+	// Build identifies the running binary (toolchain, module version, VCS
+	// revision) — the same identity wf_build_info exposes to scrapes.
+	Build obs.BuildInfo `json:"build"`
+	// DecisionLog reports the audit pipeline (nil when none is attached):
+	// sink, queue depth, and the emitted/dropped/exported tallies.
+	DecisionLog *declog.Status `json:"decision_log,omitempty"`
 	// Metrics condenses every registered family to a scalar: counters and
 	// gauges sum their series; histograms report {count, sum}.
 	Metrics map[string]any `json:"metrics,omitempty"`
@@ -70,6 +77,8 @@ func StatuszHandler(c *Coordinator, reg *obs.Registry) http.Handler {
 		}
 		seq, age, events := c.SnapshotInfo()
 		st.Snapshot = SnapshotStatus{Seq: seq, AgeSeconds: age.Seconds(), Events: events}
+		st.Build = obs.ReadBuild()
+		st.DecisionLog = c.DecisionLog().Status()
 		if err := c.Ready(); err != nil {
 			st.Ready = err.Error()
 		}
