@@ -6,7 +6,13 @@
 // Usage:
 //
 //	wfexplain -spec workflow.wf -peer sue [-steps 20] [-seed 1] [-minimum]
+//	          [-profile [-profile-top 15]]
 //	          [-log-level warn] [-log-format auto|text|json]
+//
+// With -profile the run drive and the -minimum scenario search execute
+// under the rule-engine cost profiler, and a per-rule cost table
+// (attempts, candidates, fires, evaluation and replay time, tuples
+// scanned, per-phase attribution) closes the report.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"collabwf/internal/engine"
 	"collabwf/internal/obs"
 	"collabwf/internal/parse"
+	"collabwf/internal/prof"
 	"collabwf/internal/program"
 	"collabwf/internal/prov"
 	"collabwf/internal/scenario"
@@ -36,6 +43,7 @@ func main() {
 	dotPath := flag.String("dot", "", "write the provenance graph (Graphviz DOT) to this file")
 	event := flag.Int("event", -1, "explain this single event (chain of causes and dependents)")
 	logFlags := obs.RegisterLogFlags(flag.CommandLine, "warn")
+	profFlags := prof.RegisterFlags(flag.CommandLine, "profile")
 	flag.Parse()
 
 	if *specPath == "" || *peer == "" {
@@ -60,6 +68,11 @@ func main() {
 	if !spec.Program.Schema.HasPeer(p) {
 		fatal(fmt.Errorf("unknown peer %s", p))
 	}
+	// One profiler per process, so it may own the process-global condition
+	// counters; nil (flag off) keeps every hook uninstrumented.
+	profiler := profFlags.New()
+	restoreCond := profiler.InstallCond()
+	defer restoreCond()
 	var r *program.Run
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
@@ -77,7 +90,7 @@ func main() {
 		}
 		fmt.Printf("run of %s: %d events (from %s)\n", spec.Name, r.Len(), *tracePath)
 	} else {
-		r, err = engine.RandomRun(spec.Program, *steps, *seed, 8)
+		r, err = engine.RandomRunProfiled(spec.Program, *steps, *seed, 8, profiler.Scope("engine"))
 		if err != nil {
 			fatal(err)
 		}
@@ -116,13 +129,17 @@ func main() {
 
 	if *minimum {
 		start := time.Now()
-		min, err := scenario.Minimum(r, p, scenario.Options{})
+		min, err := scenario.Minimum(r, p, scenario.Options{Profiler: profiler})
 		logger.Debug("minimum scenario search done", "duration", time.Since(start), "err", err)
 		if err != nil {
 			fmt.Printf("minimum scenario search: %v\n", err)
 		} else {
 			fmt.Printf("minimum scenario: %v (length %d)\n", min, len(min))
 		}
+	}
+
+	if profiler.Enabled() {
+		fmt.Printf("\nrule-engine cost profile:\n%s", profiler.Snapshot().Table(profFlags.Top))
 	}
 }
 

@@ -20,7 +20,13 @@
 //	wfrun -spec workflow.wf [-steps 20] [-seed 1] [-peer sue]
 //	      [-server http://127.0.0.1:8080]
 //	      [-audit decisions.jsonl [-audit-certify]]
+//	      [-profile [-profile-top 15]]
 //	      [-log-level info] [-log-format auto|text|json]
+//
+// With -profile the run is driven under the rule-engine cost profiler and
+// an EXPLAIN-ANALYZE-style per-rule cost table (attempts, candidate
+// valuations, fires, evaluation time, tuples scanned) is printed after the
+// views.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"collabwf/internal/engine"
 	"collabwf/internal/obs"
 	"collabwf/internal/parse"
+	"collabwf/internal/prof"
 	"collabwf/internal/program"
 	"collabwf/internal/trace"
 	"collabwf/internal/view"
@@ -52,6 +59,7 @@ func main() {
 	auditPath := flag.String("audit", "", "audit a decision-log JSONL file against the spec instead of running")
 	auditCertify := flag.Bool("audit-certify", false, "with -audit, also recompute certification verdicts (runs the deciders)")
 	logFlags := obs.RegisterLogFlags(flag.CommandLine, "warn")
+	profFlags := prof.RegisterFlags(flag.CommandLine, "profile")
 	flag.Parse()
 
 	if *specPath == "" {
@@ -78,8 +86,14 @@ func main() {
 	if err := spec.Program.Schema.CheckLossless(); err != nil {
 		logger.Warn("schema is not lossless", "err", err)
 	}
+	// One profiler per process, so it may own the process-global condition
+	// counters too; nil (flag off) keeps every hook on its uninstrumented
+	// path.
+	profiler := profFlags.New()
+	restoreCond := profiler.InstallCond()
+	defer restoreCond()
 	start := time.Now()
-	r, err := engine.RandomRun(spec.Program, *steps, *seed, 8)
+	r, err := engine.RandomRunProfiled(spec.Program, *steps, *seed, 8, profiler.Scope("engine"))
 	if err != nil {
 		fatal(err)
 	}
@@ -116,6 +130,10 @@ func main() {
 		if err := replayRemote(*serverURL, spec.Program, r, peers); err != nil {
 			fatal(err)
 		}
+	}
+
+	if profiler.Enabled() {
+		fmt.Printf("\nrule-engine cost profile:\n%s", profiler.Snapshot().Table(profFlags.Top))
 	}
 }
 

@@ -22,7 +22,7 @@
 //	        [-declog decisions.jsonl|http://collector/v1|stdout]
 //	        [-declog-batch 128] [-declog-flush-interval 1s]
 //	        [-declog-queue 4096] [-declog-rotate-bytes 67108864]
-//	        [-request-timeout 30s] [-debug-addr :6060]
+//	        [-request-timeout 30s] [-debug-addr :6060] [-profile-rules]
 //	        [-log-level info] [-log-format auto|text|json]
 //	        [-trace-sample always|error|slow|off] [-trace-slow 100ms]
 //	        [-trace-buffer 256]
@@ -30,8 +30,12 @@
 // Endpoints: POST /submit, GET /view, /explain, /scenario, /transitions,
 // /trace, /healthz, /readyz, /metrics, /statusz (see internal/server).
 // With -debug-addr a second listener additionally serves /metrics,
-// net/http/pprof and the trace flight recorder at /debug/traces — keep it
-// off the public interface.
+// net/http/pprof, the trace flight recorder at /debug/traces and the
+// ranked rule-cost listing at /debug/rules — keep it off the public
+// interface. With -profile-rules the rule-engine profiler attributes
+// evaluation cost per rule (wf_rule_* / wf_query_* metric families, the
+// /statusz rule_engine block, and /debug/rules rankings); off by default
+// because attribution adds clock reads to the submit path.
 //
 // Every layer is instrumented: request counts/latency per route, submission
 // accept/reject counters, WAL fsync and snapshot latencies, decider search
@@ -58,6 +62,7 @@ import (
 	"collabwf/internal/declog"
 	"collabwf/internal/obs"
 	"collabwf/internal/parse"
+	"collabwf/internal/prof"
 	"collabwf/internal/schema"
 	"collabwf/internal/server"
 	"collabwf/internal/wal"
@@ -92,6 +97,7 @@ func main() {
 	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "root-span duration threshold for -trace-sample slow")
 	traceBuffer := flag.Int("trace-buffer", 256, "completed traces retained by the flight recorder")
 	logFlags := obs.RegisterLogFlags(flag.CommandLine, "info")
+	profFlags := prof.RegisterFlags(flag.CommandLine, "profile-rules")
 	var guards guardFlags
 	flag.Var(&guards, "guard", "peer=h transparency guard (repeatable)")
 	flag.Parse()
@@ -181,6 +187,18 @@ func main() {
 	}
 	metrics := c.Instrument(reg)
 	c.SetLogger(logger)
+	// The rule-engine profiler attributes evaluation cost per rule across
+	// the live run, guard checks and decider searches. It also owns the
+	// process-global condition counters — safe here because wfserve runs
+	// one coordinator per process (request-scoped /certify?profile=1
+	// profilers deliberately do not install them).
+	profiler := profFlags.New()
+	if profiler.Enabled() {
+		c.SetProfiler(profiler)
+		profiler.InstallCond()
+		profiler.Instrument(reg)
+		fmt.Println("rule-engine profiler on (wf_rule_*, /debug/rules, /statusz rule_engine)")
+	}
 	if *lockedReads {
 		c.SetLockedReads(true)
 		fmt.Println("serving reads through the coordinator mutex (-locked-reads)")
@@ -223,7 +241,11 @@ func main() {
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
-		debugSrv = &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(reg, tracer)}
+		debugMux := obs.DebugMux(reg, tracer)
+		// Ranked per-rule cost listing; serves {"enabled": false} when the
+		// profiler is off so probes need not special-case the flag.
+		debugMux.Handle("/debug/rules", prof.RulesHandler(profiler))
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: debugMux}
 		go func() {
 			logger.Info("debug listener up", "addr", *debugAddr)
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

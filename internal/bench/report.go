@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"collabwf/internal/obs"
+	"collabwf/internal/prof"
 	"collabwf/internal/scenario"
 	"collabwf/internal/transparency"
 )
@@ -29,6 +30,9 @@ type Result struct {
 	Columns    []string   `json:"columns,omitempty"`
 	Rows       [][]string `json:"rows,omitempty"`
 	Notes      []string   `json:"notes,omitempty"`
+	// Profile is the rule-engine cost snapshot an experiment left in
+	// LastProfile (E19's per-rule cost table; absent for the others).
+	Profile *prof.Snapshot `json:"profile,omitempty"`
 }
 
 // SearchTotals aggregates the suite-wide search statistics: every decider
@@ -50,6 +54,11 @@ type ReadStats struct {
 
 // SuiteRead is populated by E17ReadPath and sealed into the report.
 var SuiteRead *ReadStats
+
+// LastProfile is set by an experiment that ran under the rule-engine
+// profiler (E19); Measure drains it into the experiment's Result so the
+// per-rule cost table lands in BENCH_<ts>.json.
+var LastProfile *prof.Snapshot
 
 // Report is the machine-readable run summary wfbench writes next to its
 // text tables (BENCH_<timestamp>.json by default).
@@ -114,6 +123,7 @@ func (r *Report) Measure(e Experiment, quick bool) (*Table, error) {
 		res.Rows = tbl.Rows
 		res.Notes = tbl.Notes
 	}
+	res.Profile, LastProfile = LastProfile, nil
 	r.Results = append(r.Results, res)
 	return tbl, err
 }

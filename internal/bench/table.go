@@ -15,7 +15,7 @@ import (
 
 // Table is one experiment's result.
 type Table struct {
-	// ID is the experiment identifier (E1..E18).
+	// ID is the experiment identifier (E1..E19).
 	ID string
 	// Title summarizes the experiment.
 	Title string
@@ -105,5 +105,6 @@ func All() []Experiment {
 		{"E16", E16GroupCommit},
 		{"E17", E17ReadPath},
 		{"E18", E18DecisionLog},
+		{"E19", E19RuleProfiler},
 	}
 }

@@ -16,9 +16,32 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"collabwf/internal/data"
 )
+
+// EvalCounts counts condition evaluations by kind. Conditions are shared
+// structural values with no room for a per-run hook, so counting is
+// process-global: SetCounters installs a sink atomically, and every Eval
+// pays one atomic pointer load (a plain read on the disabled path) to find
+// it. Nested conditions count each operand they visit.
+type EvalCounts struct {
+	True, False, EqConst, EqAttr, Not, And, Or atomic.Int64
+}
+
+// Total sums the per-kind counts.
+func (c *EvalCounts) Total() int64 {
+	return c.True.Load() + c.False.Load() + c.EqConst.Load() + c.EqAttr.Load() +
+		c.Not.Load() + c.And.Load() + c.Or.Load()
+}
+
+var counters atomic.Pointer[EvalCounts]
+
+// SetCounters installs c as the process-global evaluation-count sink (nil
+// disables counting) and returns the previous sink so callers can restore
+// it.
+func SetCounters(c *EvalCounts) *EvalCounts { return counters.Swap(c) }
 
 // Condition is a Boolean combination of elementary conditions over the
 // attributes of one relation.
@@ -62,13 +85,26 @@ type And struct{ Cs []Condition }
 type Or struct{ Cs []Condition }
 
 // Eval implements Condition.
-func (True) Eval(map[data.Attr]int, data.Tuple) bool { return true }
+func (True) Eval(map[data.Attr]int, data.Tuple) bool {
+	if cs := counters.Load(); cs != nil {
+		cs.True.Add(1)
+	}
+	return true
+}
 
 // Eval implements Condition.
-func (False) Eval(map[data.Attr]int, data.Tuple) bool { return false }
+func (False) Eval(map[data.Attr]int, data.Tuple) bool {
+	if cs := counters.Load(); cs != nil {
+		cs.False.Add(1)
+	}
+	return false
+}
 
 // Eval implements Condition.
 func (c EqConst) Eval(pos map[data.Attr]int, t data.Tuple) bool {
+	if cs := counters.Load(); cs != nil {
+		cs.EqConst.Add(1)
+	}
 	i, ok := pos[c.Attr]
 	if !ok || i >= len(t) {
 		return false
@@ -78,6 +114,9 @@ func (c EqConst) Eval(pos map[data.Attr]int, t data.Tuple) bool {
 
 // Eval implements Condition.
 func (c EqAttr) Eval(pos map[data.Attr]int, t data.Tuple) bool {
+	if cs := counters.Load(); cs != nil {
+		cs.EqAttr.Add(1)
+	}
 	i, iok := pos[c.A]
 	j, jok := pos[c.B]
 	if !iok || !jok || i >= len(t) || j >= len(t) {
@@ -87,10 +126,18 @@ func (c EqAttr) Eval(pos map[data.Attr]int, t data.Tuple) bool {
 }
 
 // Eval implements Condition.
-func (c Not) Eval(pos map[data.Attr]int, t data.Tuple) bool { return !c.C.Eval(pos, t) }
+func (c Not) Eval(pos map[data.Attr]int, t data.Tuple) bool {
+	if cs := counters.Load(); cs != nil {
+		cs.Not.Add(1)
+	}
+	return !c.C.Eval(pos, t)
+}
 
 // Eval implements Condition.
 func (c And) Eval(pos map[data.Attr]int, t data.Tuple) bool {
+	if cs := counters.Load(); cs != nil {
+		cs.And.Add(1)
+	}
 	for _, sub := range c.Cs {
 		if !sub.Eval(pos, t) {
 			return false
@@ -101,6 +148,9 @@ func (c And) Eval(pos map[data.Attr]int, t data.Tuple) bool {
 
 // Eval implements Condition.
 func (c Or) Eval(pos map[data.Attr]int, t data.Tuple) bool {
+	if cs := counters.Load(); cs != nil {
+		cs.Or.Add(1)
+	}
 	for _, sub := range c.Cs {
 		if sub.Eval(pos, t) {
 			return true

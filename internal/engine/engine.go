@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"collabwf/internal/data"
+	"collabwf/internal/prof"
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
 )
@@ -50,9 +51,22 @@ func RandomRun(p *program.Program, steps int, seed int64, candidateCap int) (*pr
 	return RandomRunFrom(p, schema.NewInstance(p.Schema.DB), steps, seed, candidateCap)
 }
 
+// RandomRunProfiled is RandomRun with an evaluation-profiler scope attached
+// to the run for the whole drive. A nil scope is profiling off: the drive
+// is then exactly RandomRun.
+func RandomRunProfiled(p *program.Program, steps int, seed int64, candidateCap int, sc *prof.Scope) (*program.Run, error) {
+	r := program.NewRunFrom(p, schema.NewInstance(p.Schema.DB))
+	r.SetProfiler(sc)
+	return randomDrive(r, steps, seed, candidateCap)
+}
+
 // RandomRunFrom is RandomRun from an arbitrary initial instance.
 func RandomRunFrom(p *program.Program, initial *schema.Instance, steps int, seed int64, candidateCap int) (*program.Run, error) {
-	r := program.NewRunFrom(p, initial)
+	return randomDrive(program.NewRunFrom(p, initial), steps, seed, candidateCap)
+}
+
+// randomDrive is the shared random-exploration loop over an existing run.
+func randomDrive(r *program.Run, steps int, seed int64, candidateCap int) (*program.Run, error) {
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < steps; i++ {
 		cands := r.Candidates(candidateCap)

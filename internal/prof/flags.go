@@ -1,0 +1,33 @@
+package prof
+
+import "flag"
+
+// Flags is the shared profiling flag block, registered uniformly by every
+// cmd the way obs.RegisterLogFlags registers logging.
+type Flags struct {
+	// Enabled turns the profiler on.
+	Enabled bool
+	// Top caps the rule rows of rendered cost tables (0 = all).
+	Top int
+}
+
+// RegisterFlags registers -<name> and -<name>-top on fs and returns the
+// destination struct; name is "profile-rules" for wfserve and "profile" for
+// the one-shot cmds.
+func RegisterFlags(fs *flag.FlagSet, name string) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Enabled, name, false,
+		"enable the rule-engine cost profiler (per-rule attribution; see /debug/rules and the cost table)")
+	fs.IntVar(&f.Top, name+"-top", 15,
+		"rule rows shown in profiler cost tables (0 = all)")
+	return f
+}
+
+// New returns a live profiler when the flag enabled one, else nil. Every
+// profiler hook is nil-safe, so callers thread the result unconditionally.
+func (f *Flags) New() *Profiler {
+	if f == nil || !f.Enabled {
+		return nil
+	}
+	return New()
+}

@@ -1,0 +1,85 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// rulesResponse is the /debug/rules document: the ranked rule listing plus
+// the totals. Matched is the full rule count before ?top truncation, so a
+// bounded listing still reports how much it elided (the /debug/traces
+// convention).
+type rulesResponse struct {
+	Enabled bool       `json:"enabled"`
+	Sort    string     `json:"sort"`
+	Matched int        `json:"matched"`
+	Totals  Totals     `json:"totals"`
+	Rules   []RuleCost `json:"rules"`
+}
+
+// RulesHandler serves the ranked hot-rule listing for /debug/rules.
+// Parameters: ?top=N bounds the listing to the N costliest rules (positive
+// integer), ?sort=cum_ns|eval_ns|attempts|fires|tuples picks the ranking
+// key (default cum_ns). Bad parameters are 400s. A nil profiler serves
+// {"enabled": false} so the endpoint is always mountable.
+func RulesHandler(p *Profiler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badRequest := func(msg string) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+		}
+		q := r.URL.Query()
+		top := 0
+		if v := q.Get("top"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				badRequest(fmt.Sprintf("bad top %q: want a positive integer", v))
+				return
+			}
+			top = n
+		}
+		sortKey := q.Get("sort")
+		if sortKey == "" {
+			sortKey = "cum_ns"
+		}
+		var key func(RuleCost) int64
+		switch sortKey {
+		case "cum_ns":
+			key = func(r RuleCost) int64 { return r.CumNS }
+		case "eval_ns":
+			key = func(r RuleCost) int64 { return r.EvalNS }
+		case "attempts":
+			key = func(r RuleCost) int64 { return r.Attempts }
+		case "fires":
+			key = func(r RuleCost) int64 { return r.Fires }
+		case "tuples":
+			key = func(r RuleCost) int64 { return r.Tuples }
+		default:
+			badRequest(fmt.Sprintf("bad sort %q: want cum_ns, eval_ns, attempts, fires or tuples", sortKey))
+			return
+		}
+		snap := p.Snapshot()
+		rules := snap.Rules
+		if sortKey != "cum_ns" {
+			sort.SliceStable(rules, func(i, j int) bool { return key(rules[i]) > key(rules[j]) })
+		}
+		matched := len(rules)
+		if top > 0 && len(rules) > top {
+			rules = rules[:top]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rulesResponse{
+			Enabled: snap.Enabled,
+			Sort:    sortKey,
+			Matched: matched,
+			Totals:  snap.Totals,
+			Rules:   rules,
+		})
+	})
+}

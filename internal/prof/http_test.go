@@ -1,0 +1,91 @@
+package prof
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"collabwf/internal/query"
+)
+
+func rulesGet(t *testing.T, h http.Handler, url string) (int, rulesResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	var out rulesResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s: not JSON: %v", url, err)
+		}
+	}
+	return rec.Code, out
+}
+
+func TestRulesHandler(t *testing.T) {
+	p := New()
+	sc := p.Scope("engine")
+	// slow: costliest; busy: most attempts and tuples; quickr: most fires.
+	sc.RuleEval("slow", "q", 1000, &query.EvalStats{Tuples: 1})
+	for i := 0; i < 5; i++ {
+		sc.RuleEval("busy", "q", 10, &query.EvalStats{Tuples: 20})
+	}
+	sc.RuleEval("quickr", "q", 1, &query.EvalStats{})
+	sc.RuleFired("quickr", "q")
+	sc.RuleFired("quickr", "q")
+	h := RulesHandler(p)
+
+	code, out := rulesGet(t, h, "/debug/rules")
+	if code != http.StatusOK || !out.Enabled || out.Matched != 3 || len(out.Rules) != 3 {
+		t.Fatalf("default listing: code=%d out=%+v", code, out)
+	}
+	if out.Sort != "cum_ns" || out.Rules[0].Rule != "slow" {
+		t.Fatalf("default ranking: %+v", out)
+	}
+	if out.Totals.Attempts != 7 {
+		t.Fatalf("totals = %+v", out.Totals)
+	}
+
+	// ?top bounds the listing but matched still reports the full count.
+	code, out = rulesGet(t, h, "/debug/rules?top=1")
+	if code != http.StatusOK || out.Matched != 3 || len(out.Rules) != 1 || out.Rules[0].Rule != "slow" {
+		t.Fatalf("top=1: code=%d out=%+v", code, out)
+	}
+
+	// Alternative sort keys re-rank.
+	for url, first := range map[string]string{
+		"/debug/rules?sort=attempts": "busy",
+		"/debug/rules?sort=tuples":   "busy",
+		"/debug/rules?sort=fires":    "quickr",
+		"/debug/rules?sort=eval_ns":  "slow",
+	} {
+		code, out = rulesGet(t, h, url)
+		if code != http.StatusOK || out.Rules[0].Rule != first {
+			t.Fatalf("%s: code=%d first=%+v, want %s", url, code, out.Rules[0], first)
+		}
+	}
+
+	// Bad parameters are JSON 400s.
+	for _, url := range []string{
+		"/debug/rules?top=0", "/debug/rules?top=-3", "/debug/rules?top=abc",
+		"/debug/rules?sort=bogus",
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: code=%d, want 400", url, rec.Code)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+			t.Fatalf("%s: 400 body should be an error object, got %q", url, rec.Body.String())
+		}
+	}
+}
+
+func TestRulesHandlerDisabled(t *testing.T) {
+	h := RulesHandler(nil)
+	code, out := rulesGet(t, h, "/debug/rules")
+	if code != http.StatusOK || out.Enabled || len(out.Rules) != 0 {
+		t.Fatalf("disabled listing: code=%d out=%+v", code, out)
+	}
+}

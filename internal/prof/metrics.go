@@ -1,0 +1,99 @@
+package prof
+
+import (
+	"sync"
+
+	"collabwf/internal/obs"
+)
+
+// Instrument exports the profiler through reg as the wf_rule_* / wf_query_*
+// metric families. The profiler's own counters stay the source of truth; an
+// OnGather hook folds deltas into the registry series at scrape time, so
+// the hot paths never touch the registry. Families:
+//
+//	wf_profiler_enabled                  gauge, 1 while a profiler is live
+//	wf_rule_attempts_total{rule}         body evaluations per rule
+//	wf_rule_fires_total{rule}            events appended per rule
+//	wf_rule_eval_ns_total{rule}          cumulative evaluation wall time
+//	wf_rule_tuples_scanned_total{rule}   tuples iterated by the rule's body
+//	wf_query_tuples_scanned_total        tuples iterated by relation scans
+//	wf_query_key_lookups_total           key-based fast-path lookups
+//	wf_query_literals_total              literal evaluations entered
+//	wf_query_valuations_total            satisfying valuations produced
+//	wf_guard_checks_total{peer}          coordinator guard checks
+//	wf_guard_check_ns_total{peer}        guard check wall time
+//	wf_guard_violations_total{peer}      guard checks that rejected
+//	wf_cond_evals_total{kind}            condition evaluations by kind
+func (p *Profiler) Instrument(reg *obs.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.Gauge("wf_profiler_enabled",
+		"Whether the rule-engine cost profiler is collecting (1) or off (0).").Set(1)
+	ruleAttempts := reg.CounterVec("wf_rule_attempts_total",
+		"Rule body evaluations during candidate enumeration, by rule.", "rule")
+	ruleFires := reg.CounterVec("wf_rule_fires_total",
+		"Events appended to a run, by rule.", "rule")
+	ruleEvalNS := reg.CounterVec("wf_rule_eval_ns_total",
+		"Cumulative wall time inside rule body evaluations, by rule (nanoseconds).", "rule")
+	ruleTuples := reg.CounterVec("wf_rule_tuples_scanned_total",
+		"Tuples iterated by a rule's body relation scans, by rule.", "rule")
+	qTuples := reg.Counter("wf_query_tuples_scanned_total",
+		"Tuples iterated by query relation scans under the profiler.")
+	qKeys := reg.Counter("wf_query_key_lookups_total",
+		"Key-based fast-path lookups that short-circuited a relation scan.")
+	qLits := reg.Counter("wf_query_literals_total",
+		"Query literal evaluations entered under the profiler.")
+	qVals := reg.Counter("wf_query_valuations_total",
+		"Satisfying valuations produced by query evaluation under the profiler.")
+	guardChecks := reg.CounterVec("wf_guard_checks_total",
+		"Coordinator guard checks, by guarded peer.", "peer")
+	guardNS := reg.CounterVec("wf_guard_check_ns_total",
+		"Wall time of coordinator guard checks, by guarded peer (nanoseconds).", "peer")
+	guardViol := reg.CounterVec("wf_guard_violations_total",
+		"Guard checks that rejected a submission, by guarded peer.", "peer")
+	condEvals := reg.CounterVec("wf_cond_evals_total",
+		"Selection-condition evaluations under the profiler, by condition kind.", "kind")
+
+	// Counters are monotone, so exporting is a delta fold: remember what was
+	// already pushed per series and Add the difference at each gather. The
+	// mutex serializes concurrent scrapes.
+	var mu sync.Mutex
+	pushed := map[string]int64{}
+	push := func(c *obs.Counter, key string, now int64) {
+		if d := now - pushed[key]; d > 0 {
+			c.Add(d)
+			pushed[key] = now
+		}
+	}
+	reg.OnGather(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		s := p.Snapshot()
+		for _, r := range s.Rules {
+			push(ruleAttempts.With(r.Rule), "a:"+r.Rule, r.Attempts)
+			push(ruleFires.With(r.Rule), "f:"+r.Rule, r.Fires)
+			push(ruleEvalNS.With(r.Rule), "e:"+r.Rule, r.EvalNS)
+			push(ruleTuples.With(r.Rule), "t:"+r.Rule, r.Tuples)
+		}
+		push(qTuples, "q:tuples", s.Totals.Tuples)
+		push(qKeys, "q:keys", s.Totals.KeyLookups)
+		push(qLits, "q:lits", s.Totals.Literals)
+		push(qVals, "q:vals", s.Totals.Candidates)
+		for _, g := range s.Guards {
+			push(guardChecks.With(g.Peer), "gc:"+g.Peer, g.Checks)
+			push(guardNS.With(g.Peer), "gn:"+g.Peer, g.NS)
+			push(guardViol.With(g.Peer), "gv:"+g.Peer, g.Violations)
+		}
+		for _, kv := range []struct {
+			kind string
+			n    int64
+		}{
+			{"true", s.Cond.True}, {"false", s.Cond.False},
+			{"eq_const", s.Cond.EqConst}, {"eq_attr", s.Cond.EqAttr},
+			{"not", s.Cond.Not}, {"and", s.Cond.And}, {"or", s.Cond.Or},
+		} {
+			push(condEvals.With(kv.kind), "c:"+kv.kind, kv.n)
+		}
+	})
+}

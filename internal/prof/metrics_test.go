@@ -1,0 +1,93 @@
+package prof
+
+import (
+	"testing"
+
+	"collabwf/internal/obs"
+	"collabwf/internal/query"
+)
+
+func familyValue(t *testing.T, fams []obs.FamilySnapshot, name string, labels ...string) float64 {
+	t.Helper()
+	for _, f := range fams {
+		if f.Name != name {
+			continue
+		}
+		total := 0.0
+		for _, s := range f.Series {
+			match := true
+			for i := 0; i+1 < len(labels); i += 2 {
+				ok := false
+				for _, l := range s.Labels {
+					if l.Name == labels[i] && l.Value == labels[i+1] {
+						ok = true
+					}
+				}
+				match = match && ok
+			}
+			if match {
+				total += s.Value
+			}
+		}
+		return total
+	}
+	t.Fatalf("family %s not gathered", name)
+	return 0
+}
+
+func TestInstrumentDeltaFold(t *testing.T) {
+	p := New()
+	reg := obs.NewRegistry()
+	p.Instrument(reg)
+	sc := p.Scope("engine")
+	sc.RuleEval("r1", "q", 100, &query.EvalStats{Tuples: 4, KeyLookups: 2, Literals: 6, Valuations: 1})
+	sc.RuleFired("r1", "q")
+	p.GuardCheck("sue", 40, true)
+
+	fams := reg.Gather()
+	if got := familyValue(t, fams, "wf_profiler_enabled"); got != 1 {
+		t.Fatalf("wf_profiler_enabled = %v", got)
+	}
+	if got := familyValue(t, fams, "wf_rule_attempts_total", "rule", "r1"); got != 1 {
+		t.Fatalf("attempts = %v", got)
+	}
+	if got := familyValue(t, fams, "wf_rule_fires_total", "rule", "r1"); got != 1 {
+		t.Fatalf("fires = %v", got)
+	}
+	if got := familyValue(t, fams, "wf_rule_eval_ns_total", "rule", "r1"); got != 100 {
+		t.Fatalf("eval ns = %v", got)
+	}
+	if got := familyValue(t, fams, "wf_query_tuples_scanned_total"); got != 4 {
+		t.Fatalf("tuples = %v", got)
+	}
+	if got := familyValue(t, fams, "wf_guard_violations_total", "peer", "sue"); got != 1 {
+		t.Fatalf("violations = %v", got)
+	}
+
+	// A second gather with no new work must not re-add the same deltas.
+	fams = reg.Gather()
+	if got := familyValue(t, fams, "wf_rule_attempts_total", "rule", "r1"); got != 1 {
+		t.Fatalf("attempts double-counted: %v", got)
+	}
+	if got := familyValue(t, fams, "wf_query_key_lookups_total"); got != 2 {
+		t.Fatalf("key lookups double-counted: %v", got)
+	}
+
+	// New work since the last scrape folds in as a delta.
+	sc.RuleEval("r1", "q", 50, &query.EvalStats{Tuples: 1})
+	fams = reg.Gather()
+	if got := familyValue(t, fams, "wf_rule_attempts_total", "rule", "r1"); got != 2 {
+		t.Fatalf("attempts after delta = %v", got)
+	}
+	if got := familyValue(t, fams, "wf_rule_eval_ns_total", "rule", "r1"); got != 150 {
+		t.Fatalf("eval ns after delta = %v", got)
+	}
+	if got := familyValue(t, fams, "wf_query_tuples_scanned_total"); got != 5 {
+		t.Fatalf("tuples after delta = %v", got)
+	}
+
+	// Nil receivers are no-ops.
+	var nilP *Profiler
+	nilP.Instrument(reg)
+	p.Instrument(nil)
+}

@@ -3,8 +3,10 @@ package program
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"collabwf/internal/data"
+	"collabwf/internal/prof"
 	"collabwf/internal/query"
 	"collabwf/internal/rule"
 	"collabwf/internal/schema"
@@ -37,7 +39,20 @@ type Run struct {
 	seen   data.ValueSet // values of the initial and all later instances
 	fresh  *data.FreshSource
 	views  map[viewKey]*schema.ViewInstance
+
+	// prof, when non-nil, attributes candidate-enumeration and replay cost
+	// to the evaluation profiler. Nil (the default) keeps the original
+	// uninstrumented paths: the hooks cost one nil test and no clock reads.
+	prof *prof.Scope
 }
+
+// SetProfiler attaches a profiler scope to the run (nil detaches). The
+// scope shares the run's non-concurrency: callers serialize through the
+// same lock that guards the run itself.
+func (r *Run) SetProfiler(sc *prof.Scope) { r.prof = sc }
+
+// Profiler returns the run's profiler scope (nil when profiling is off).
+func (r *Run) Profiler() *prof.Scope { return r.prof }
 
 type viewKey struct {
 	step int
@@ -173,7 +188,15 @@ func (r *Run) VisibleEvents(p schema.Peer) []int {
 func (r *Run) Append(e *Event) error {
 	cur := r.Current()
 	vi := r.ViewAt(len(r.Steps)-1, e.Peer())
-	if !e.Rule.Body.Satisfied(vi, e.Val) {
+	var satisfied bool
+	if r.prof == nil {
+		satisfied = e.Rule.Body.Satisfied(vi, e.Val)
+	} else {
+		start := time.Now()
+		satisfied = e.Rule.Body.Satisfied(vi, e.Val)
+		r.prof.RuleReplay(e.Rule.Name, string(e.Peer()), time.Since(start).Nanoseconds())
+	}
+	if !satisfied {
 		return fmt.Errorf("program: event %s: body not satisfied at step %d", e, len(r.Steps))
 	}
 	freshVals := e.FreshValues()
@@ -204,6 +227,7 @@ func (r *Run) Append(e *Event) error {
 		}
 	}
 	r.Steps = append(r.Steps, Step{Event: e, Instance: next, Effects: effects, added: added})
+	r.prof.RuleFired(e.Rule.Name, string(e.Peer()))
 	return nil
 }
 
@@ -257,7 +281,17 @@ func (r *Run) Candidates(limitPerRule int) []Candidate {
 	var out []Candidate
 	for _, rl := range r.Prog.Rules() {
 		vi := r.ViewAt(len(r.Steps)-1, rl.Peer)
-		for _, val := range rl.Body.Eval(vi, limitPerRule) {
+		if r.prof == nil {
+			for _, val := range rl.Body.Eval(vi, limitPerRule) {
+				out = append(out, Candidate{Rule: rl, Val: val})
+			}
+			continue
+		}
+		var es query.EvalStats
+		start := time.Now()
+		vals := rl.Body.EvalCollect(vi, limitPerRule, &es)
+		r.prof.RuleEval(rl.Name, string(rl.Peer), time.Since(start).Nanoseconds(), &es)
+		for _, val := range vals {
 			out = append(out, Candidate{Rule: rl, Val: val})
 		}
 	}
@@ -279,8 +313,17 @@ func (r *Run) Fire(c Candidate) (*Event, error) {
 	}
 	if unbound {
 		vi := r.ViewAt(len(r.Steps)-1, c.Rule.Peer)
+		var fulls []query.Valuation
+		if r.prof == nil {
+			fulls = c.Rule.Body.Eval(vi, 0)
+		} else {
+			var es query.EvalStats
+			start := time.Now()
+			fulls = c.Rule.Body.EvalCollect(vi, 0, &es)
+			r.prof.RuleEval(c.Rule.Name, string(c.Rule.Peer), time.Since(start).Nanoseconds(), &es)
+		}
 		found := false
-		for _, full := range c.Rule.Body.Eval(vi, 0) {
+		for _, full := range fulls {
 			consistent := true
 			for k, v := range val {
 				if fv, bound := full[k]; bound && fv != v {

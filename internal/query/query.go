@@ -253,11 +253,43 @@ func (q Query) CheckSchema(s *schema.Collaborative, p schema.Peer) error {
 	return nil
 }
 
+// EvalStats accumulates the work of Eval calls collected through
+// EvalCollect: literal evaluations entered (a binder re-entered under a new
+// parent binding counts again — it is new work), key-based fast-path
+// lookups, tuples iterated by relation scans, and satisfying valuations
+// produced. Rel attributes scanned tuples to their relation; it is allocated
+// lazily on the first scan, so bodies that resolve entirely through key
+// lookups never allocate.
+type EvalStats struct {
+	Literals   int64
+	KeyLookups int64
+	Tuples     int64
+	Valuations int64
+	Rel        map[string]int64
+}
+
+// scanned counts one tuple iterated while scanning rel.
+func (s *EvalStats) scanned(rel string) {
+	s.Tuples++
+	if s.Rel == nil {
+		s.Rel = make(map[string]int64, 4)
+	}
+	s.Rel[rel]++
+}
+
 // Eval enumerates every valuation of the query's variables under which the
 // view instance satisfies the query. The result is deterministic: bindings
 // are explored in sorted tuple order. The limit caps the number of returned
 // valuations (0 means no cap).
 func (q Query) Eval(vi *schema.ViewInstance, limit int) []Valuation {
+	return q.EvalCollect(vi, limit, nil)
+}
+
+// EvalCollect is Eval with cost collection: when es is non-nil every literal
+// evaluation, key lookup, scanned tuple and produced valuation is counted
+// into it. A nil es takes the branch-free accounting skips and nothing else,
+// so Eval and the profiler-disabled engine pay only the es != nil tests.
+func (q Query) EvalCollect(vi *schema.ViewInstance, limit int, es *EvalStats) []Valuation {
 	// Partition into binders (positive atoms/key atoms) and filters.
 	var binders, filters []Literal
 	for _, l := range q {
@@ -272,9 +304,15 @@ func (q Query) Eval(vi *schema.ViewInstance, limit int) []Valuation {
 	rec = func(i int, val Valuation) bool {
 		if i == len(binders) {
 			for _, f := range filters {
+				if es != nil {
+					es.Literals++
+				}
 				if !evalFilter(f, vi, val) {
 					return true
 				}
+			}
+			if es != nil {
+				es.Valuations++
 			}
 			out = append(out, val.Clone())
 			return limit == 0 || len(out) < limit
@@ -286,6 +324,10 @@ func (q Query) Eval(vi *schema.ViewInstance, limit int) []Valuation {
 			// scanning the relation.
 			if len(l.Args) > 0 {
 				if k, bound := val.Apply(l.Args[0]); bound {
+					if es != nil {
+						es.Literals++
+						es.KeyLookups++
+					}
 					if t, ok := vi.Get(l.Rel, k); ok {
 						if next, ok := unify(l.Args, t, val); ok {
 							if !rec(i+1, next) {
@@ -296,7 +338,13 @@ func (q Query) Eval(vi *schema.ViewInstance, limit int) []Valuation {
 					return true
 				}
 			}
+			if es != nil {
+				es.Literals++
+			}
 			for _, t := range vi.Tuples(l.Rel) {
+				if es != nil {
+					es.scanned(l.Rel)
+				}
 				if next, ok := unify(l.Args, t, val); ok {
 					if !rec(i+1, next) {
 						return false
@@ -305,12 +353,22 @@ func (q Query) Eval(vi *schema.ViewInstance, limit int) []Valuation {
 			}
 		case KeyAtom:
 			if v, ok := val.Apply(l.Arg); ok {
+				if es != nil {
+					es.Literals++
+					es.KeyLookups++
+				}
 				if vi.HasKey(l.Rel, v) {
 					return rec(i+1, val)
 				}
 				return true
 			}
+			if es != nil {
+				es.Literals++
+			}
 			for _, t := range vi.Tuples(l.Rel) {
+				if es != nil {
+					es.scanned(l.Rel)
+				}
 				next := val.Clone()
 				next[l.Arg.Var] = t.Key()
 				if !rec(i+1, next) {

@@ -18,6 +18,7 @@ import (
 
 	"collabwf/internal/obs"
 	"collabwf/internal/par"
+	"collabwf/internal/prof"
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
 	"collabwf/internal/view"
@@ -32,9 +33,16 @@ var ErrBudget = errors.New("scenario: search budget exceeded")
 // returns the resulting subrun or an error if the subsequence does not
 // yield a run.
 func Replay(r *program.Run, indices []int) (*program.Run, error) {
+	return replayScoped(r, indices, nil)
+}
+
+// replayScoped is Replay with a profiler scope attached to the subrun, so
+// the exact searches attribute their replay re-checks per rule.
+func replayScoped(r *program.Run, indices []int, sc *prof.Scope) (*program.Run, error) {
 	// The parent run never mutates its initial instance, so the replay can
 	// share it instead of cloning per candidate subsequence.
 	sub := program.NewRunFromShared(r.Prog, r.Initial)
+	sub.SetProfiler(sc)
 	prev := -1
 	for _, i := range indices {
 		if i <= prev || i >= r.Len() {
@@ -64,7 +72,13 @@ func IsScenario(r *program.Run, p schema.Peer, indices []int) bool {
 // the exact searches compute it once instead of per candidate. The target
 // must be warmed (warmView) before concurrent use.
 func isScenarioAgainst(r *program.Run, p schema.Peer, target *view.RunView, indices []int) bool {
-	sub, err := Replay(r, indices)
+	return isScenarioScoped(r, p, target, indices, nil)
+}
+
+// isScenarioScoped is isScenarioAgainst with a profiler scope for the
+// candidate replay (nil = profiling off).
+func isScenarioScoped(r *program.Run, p schema.Peer, target *view.RunView, indices []int, sc *prof.Scope) bool {
+	sub, err := replayScoped(r, indices, sc)
 	if err != nil {
 		return false
 	}
@@ -98,6 +112,9 @@ type Options struct {
 	Parallelism int
 	// Stats, when non-nil, accumulates search-effort counters across calls.
 	Stats *Stats
+	// Profiler, when non-nil, attributes MinimumCtx's replay cost per rule
+	// under the "scenario.minimum" phase.
+	Profiler *prof.Profiler
 }
 
 // Stats reports the effort of the exact scenario searches. Pass a *Stats in
@@ -179,6 +196,7 @@ func MinimumCtx(ctx context.Context, r *program.Run, p schema.Peer, opts Options
 			}
 		}
 	}()
+	psc := opts.Profiler.Scope("scenario.minimum")
 	visible, invisible := split(r, p)
 	sp.SetAttr("invisible", len(invisible))
 	if len(invisible) > opts.MaxChoice {
@@ -220,7 +238,7 @@ func MinimumCtx(ctx context.Context, r *program.Run, p schema.Peer, opts Options
 				return false, ErrBudget
 			}
 			indices := merge(visible, invisible, mask)
-			if isScenarioAgainst(r, p, target, indices) {
+			if isScenarioScoped(r, p, target, indices, psc) {
 				found[i] = indices
 				return true, nil
 			}

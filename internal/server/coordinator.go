@@ -26,6 +26,7 @@ import (
 	"collabwf/internal/declog"
 	"collabwf/internal/design"
 	"collabwf/internal/obs"
+	"collabwf/internal/prof"
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
 	"collabwf/internal/trace"
@@ -125,6 +126,11 @@ type Coordinator struct {
 	dropped       int
 	droppedByPeer map[schema.Peer]int
 
+	// profiler is the attached rule-engine cost profiler (nil when off);
+	// SetProfiler wires its "engine" scope into the run and the guard-check
+	// attribution below. All hooks are nil-safe.
+	profiler *prof.Profiler
+
 	// metrics and logger are the observability hooks (nil-safe); see
 	// metrics.go. recoveryTime/recoveredEvents stamp the last recovery so a
 	// later Instrument can surface it.
@@ -178,6 +184,24 @@ func New(name string, p *program.Program) *Coordinator {
 	// first request (no "nil snapshot" fallback state exists).
 	c.publishSnapshotLocked()
 	return c
+}
+
+// SetProfiler attaches a rule-engine cost profiler to the coordinator: the
+// live run's candidate enumeration, fires and replays are attributed under
+// the "engine" phase, and every guard check is timed per guarded peer. Call
+// it before serving traffic (like Instrument); nil detaches.
+func (c *Coordinator) SetProfiler(p *prof.Profiler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.profiler = p
+	c.run.SetProfiler(p.Scope("engine"))
+}
+
+// Profiler returns the attached profiler (nil when profiling is off).
+func (c *Coordinator) Profiler() *prof.Profiler {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.profiler
 }
 
 // Guard enforces transparency and h-boundedness for the peer: submissions
@@ -383,8 +407,16 @@ func (c *Coordinator) submitCtx(ctx context.Context, peer schema.Peer, ruleName 
 	gsp.SetAttr("guards", len(c.guards))
 	for _, guarded := range c.sortedGuards() {
 		m := c.guardMonitors[guarded]
+		var gstart time.Time
+		if c.profiler.Enabled() {
+			gstart = time.Now()
+		}
 		m.Sync()
-		if vs := m.Violations(); len(vs) > 0 {
+		vs := m.Violations()
+		if c.profiler.Enabled() {
+			c.profiler.GuardCheck(string(guarded), time.Since(gstart).Nanoseconds(), len(vs) > 0)
+		}
+		if len(vs) > 0 {
 			reason := vs[len(vs)-1].Reason
 			gsp.SetAttr("guarded", string(guarded))
 			gsp.SetAttr("reason", reason)

@@ -12,6 +12,7 @@ import (
 	"collabwf/internal/core"
 	"collabwf/internal/data"
 	"collabwf/internal/obs"
+	"collabwf/internal/prof"
 	"collabwf/internal/schema"
 )
 
@@ -204,12 +205,39 @@ func NewHandler(c *Coordinator, opts HTTPOptions) http.Handler {
 			}
 			h = n
 		}
+		// profile=1 attaches a per-request evaluation profiler to the
+		// decider searches and returns its cost snapshot alongside the
+		// verdict (EXPLAIN ANALYZE for certification). The profiler is
+		// request-scoped, so concurrent certifications don't mix numbers;
+		// it deliberately does not install the process-global condition
+		// counters for the same reason.
+		var profiler *prof.Profiler
+		switch ps := r.URL.Query().Get("profile"); ps {
+		case "", "0", "false":
+		case "1", "true":
+			profiler = prof.New()
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad profile: %q", ps))
+			return
+		}
 		peer := peerParam(r)
-		if err := c.Certify(r.Context(), peer, h, core.Options{}); err != nil {
+		if err := c.Certify(r.Context(), peer, h, core.Options{Profiler: profiler}); err != nil {
+			if profiler.Enabled() {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusConflict)
+				_ = json.NewEncoder(w).Encode(map[string]any{
+					"error": err.Error(), "profile": profiler.Snapshot(),
+				})
+				return
+			}
 			httpError(w, http.StatusConflict, err)
 			return
 		}
-		writeJSON(w, map[string]any{"peer": peer, "h": h, "certified": true})
+		resp := map[string]any{"peer": peer, "h": h, "certified": true}
+		if profiler.Enabled() {
+			resp["profile"] = profiler.Snapshot()
+		}
+		writeJSON(w, resp)
 	})
 
 	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@ import (
 
 	"collabwf/internal/declog"
 	"collabwf/internal/obs"
+	"collabwf/internal/prof"
 )
 
 // Statusz is the JSON document served on /statusz: a one-page operator
@@ -37,6 +38,10 @@ type Statusz struct {
 	// DecisionLog reports the audit pipeline (nil when none is attached):
 	// sink, queue depth, and the emitted/dropped/exported tallies.
 	DecisionLog *declog.Status `json:"decision_log,omitempty"`
+	// RuleEngine condenses the evaluation profiler: total fires and
+	// attempts plus the top rules by cumulative cost (enabled: false when
+	// the coordinator runs without -profile-rules).
+	RuleEngine prof.Status `json:"rule_engine"`
 	// Metrics condenses every registered family to a scalar: counters and
 	// gauges sum their series; histograms report {count, sum}.
 	Metrics map[string]any `json:"metrics,omitempty"`
@@ -79,6 +84,7 @@ func StatuszHandler(c *Coordinator, reg *obs.Registry) http.Handler {
 		st.Snapshot = SnapshotStatus{Seq: seq, AgeSeconds: age.Seconds(), Events: events}
 		st.Build = obs.ReadBuild()
 		st.DecisionLog = c.DecisionLog().Status()
+		st.RuleEngine = c.Profiler().Status(3)
 		if err := c.Ready(); err != nil {
 			st.Ready = err.Error()
 		}

@@ -122,7 +122,9 @@ func (s *searcher) branchJobs(ctx context.Context, instances []*schema.Instance)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		n := len(s.candidatesFor(program.NewRunFromShared(s.prog, in)))
+		root := program.NewRunFromShared(s.prog, in)
+		root.SetProfiler(s.profSilent)
+		n := len(s.candidatesFor(root))
 		for b := 0; b < n; b++ {
 			jobs = append(jobs, branchJob{in: in, branch: b})
 		}
@@ -279,6 +281,7 @@ func CheckTransparentCtx(ctx context.Context, p *program.Program, peer schema.Pe
 // last visible, minimum p-faithful, and the final views must agree.
 func replayMatches(s *searcher, sr SilentRun, dst *schema.Instance) string {
 	run := program.NewRunFromShared(s.prog, dst)
+	run.SetProfiler(s.profSilent)
 	for i, e := range sr.Run.Events() {
 		if err := run.Append(e); err != nil {
 			return fmt.Sprintf("event %d not applicable on J: %v", i, err)

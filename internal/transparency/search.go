@@ -24,9 +24,11 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"collabwf/internal/data"
 	"collabwf/internal/faithful"
+	"collabwf/internal/prof"
 	"collabwf/internal/program"
 	"collabwf/internal/query"
 	"collabwf/internal/schema"
@@ -62,6 +64,11 @@ type Options struct {
 	Parallelism int
 	// Stats, when non-nil, accumulates search-effort counters across calls.
 	Stats *Stats
+	// Profiler, when non-nil, attributes the search's candidate-generation
+	// and replay cost per rule, under the phases "decider.silent_runs"
+	// (the silent-run DFS and its replays) and "decider.fresh_instances"
+	// (the visible-event enumeration of Definition 5.5).
+	Profiler *prof.Profiler
 }
 
 func (o Options) withDefaults(p *program.Program, h int) Options {
@@ -118,6 +125,10 @@ type searcher struct {
 	// adoms caches the active domains of the enumerated instances; built
 	// sequentially before any fan-out, read-only during it.
 	adoms map[*schema.Instance]data.ValueSet
+	// profSilent and profFresh are the profiler scopes of the two search
+	// phases (nil when profiling is off). Scopes are concurrency-safe, so
+	// the worker pool shares them.
+	profSilent, profFresh *prof.Scope
 }
 
 // adomOf returns the cached active domain of an enumerated instance (or
@@ -156,6 +167,8 @@ func newSearcher(p *program.Program, peer schema.Peer, h int, opts Options) *sea
 			s.fresh.Add(v)
 		}
 	}
+	s.profSilent = opts.Profiler.Scope("decider.silent_runs")
+	s.profFresh = opts.Profiler.Scope("decider.fresh_instances")
 	return s
 }
 
@@ -314,7 +327,16 @@ func (s *searcher) visibleEventsOn(in *schema.Instance) ([]*program.Event, error
 	adom := in.ADom()
 	for _, rl := range s.prog.Rules() {
 		vi := schema.ViewOf(in, s.prog.Schema, rl.Peer)
-		for _, val := range rl.Body.Eval(vi, 0) {
+		var bodyVals []query.Valuation
+		if s.profFresh == nil {
+			bodyVals = rl.Body.Eval(vi, 0)
+		} else {
+			var es query.EvalStats
+			start := time.Now()
+			bodyVals = rl.Body.EvalCollect(vi, 0, &es)
+			s.profFresh.RuleEval(rl.Name, string(rl.Peer), time.Since(start).Nanoseconds(), &es)
+		}
+		for _, val := range bodyVals {
 			vals := []query.Valuation{val}
 			for _, fv := range rl.FreshVars() {
 				var next []query.Valuation
@@ -426,6 +448,7 @@ const allBranches = -1
 // instead of O(run²).
 func (s *searcher) silentRuns(ctx context.Context, in *schema.Instance, maxLen, branch int, avoid data.ValueSet, yield func(SilentRun) bool) error {
 	run := program.NewRunFromShared(s.prog, in)
+	run.SetProfiler(s.profSilent)
 	// used holds every value the run has touched: adom of the initial
 	// instance plus the values of each appended event (a superset of the
 	// historical active domains, matching Append's freshness ledger), so
