@@ -14,11 +14,18 @@
 // as JSON (CI uploads it as an artifact); the exit status is non-zero if
 // any invariant was violated.
 //
+// With -runs N (N > 1) the soak switches to the multi-run fleet harness:
+// one Manager serves N runs, each driven by its own retrying client with
+// run-namespaced candidates, the whole fleet is crashed and recovered
+// together (every WAL tail truncated independently), and each run's
+// durability, idempotency and cross-run-isolation invariants are checked
+// in isolation.
+//
 // Usage:
 //
 //	wfchaos [-seed 1] [-ops 400] [-workers 4] [-readers 2] [-injections 200]
 //	        [-crash-every 12] [-snapshot-every 32] [-dir ""] [-timeout 5m]
-//	        [-declog] [-v]
+//	        [-declog] [-runs 1] [-v]
 package main
 
 import (
@@ -43,6 +50,7 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 32, "coordinator snapshot threshold (events)")
 	dir := flag.String("dir", "", "data directory (kept after the run); empty means a temp dir, removed on success")
 	declogOn := flag.Bool("declog", true, "stream decisions to decisions.jsonl in the data dir and check invariant 6")
+	runsN := flag.Int("runs", 1, "workflow runs in the fleet; >1 switches to the multi-run fleet soak")
 	timeout := flag.Duration("timeout", 5*time.Minute, "abort the soak after this long")
 	verbose := flag.Bool("v", false, "log injections and recoveries to stderr")
 	flag.Parse()
@@ -54,6 +62,34 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	if *runsN > 1 {
+		sum, err := chaos.RunFleet(ctx, chaos.FleetConfig{
+			Seed:          *seed,
+			Runs:          *runsN,
+			Ops:           *ops,
+			SnapshotEvery: *snapshotEvery,
+			Dir:           *dir,
+			Logger:        logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfchaos: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintf(os.Stderr, "wfchaos: encoding summary: %v\n", err)
+			os.Exit(1)
+		}
+		if len(sum.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "wfchaos: %d invariant violation(s) — replay with -seed %d -runs %d\n",
+				len(sum.Violations), sum.Seed, sum.Runs)
+			os.Exit(2)
+		}
+		return
+	}
+
 	sum, err := chaos.Run(ctx, chaos.Config{
 		Seed:          *seed,
 		Ops:           *ops,

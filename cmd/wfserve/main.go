@@ -1,16 +1,23 @@
-// Command wfserve hosts a workflow specification behind the master-server
+// Command wfserve hosts a fleet of workflow runs behind the master-server
 // architecture of the paper's conclusion: peers submit rule firings over a
-// JSON HTTP API, the coordinator serializes them into the global run, and
+// JSON HTTP API, a per-run coordinator serializes them into that run, and
 // each peer can fetch its view, its visible transitions, and faithful
 // explanations of what it observed. Optional guards enforce transparency
 // and h-boundedness for selected peers by rejecting violating submissions.
 //
-// With -data-dir the coordinator is durable: accepted events are written
-// to a write-ahead log before any peer observes them, the run prefix is
-// snapshotted periodically, and a restart recovers the full run (guards
-// included) from snapshot + WAL tail. SIGINT/SIGTERM shut the server down
-// gracefully: in-flight submissions drain, a final snapshot is written,
-// and the WAL is closed.
+// Every request is hash-routed to its run's shard — an independent
+// coordinator with its own lock, observable-prefix snapshot, explainer
+// caches and WAL directory — so one run's load (or fsync stall) never
+// blocks another's. The lifecycle API creates, lists and archives runs at
+// runtime; legacy single-run paths alias to the "default" run, so
+// pre-fleet clients keep working unchanged.
+//
+// With -data-dir the fleet is durable: the default run lives at the
+// directory root (a pre-fleet data dir recovers as-is), named runs under
+// <dir>/runs/<id>/, and a restart recovers every non-archived run from its
+// snapshot + WAL tail. SIGINT/SIGTERM shut the server down gracefully:
+// in-flight submissions drain, every run writes a final snapshot, and the
+// WALs are closed.
 //
 // Usage:
 //
@@ -27,22 +34,27 @@
 //	        [-trace-sample always|error|slow|off] [-trace-slow 100ms]
 //	        [-trace-buffer 256]
 //
-// Endpoints: POST /submit, GET /view, /explain, /scenario, /transitions,
-// /trace, /healthz, /readyz, /metrics, /statusz (see internal/server).
-// With -debug-addr a second listener additionally serves /metrics,
-// net/http/pprof, the trace flight recorder at /debug/traces and the
-// ranked rule-cost listing at /debug/rules — keep it off the public
-// interface. With -profile-rules the rule-engine profiler attributes
-// evaluation cost per rule (wf_rule_* / wf_query_* metric families, the
-// /statusz rule_engine block, and /debug/rules rankings); off by default
-// because attribution adds clock reads to the submit path.
+// Endpoints: POST /runs, GET /runs, DELETE /runs/{id}, and under each
+// /runs/{id}/ prefix (plus the legacy default-run alias at the root) the
+// full single-run API: POST submit, GET view, /explain, /scenario,
+// /transitions, /trace, /healthz, /readyz, /metrics, /statusz (see
+// internal/server). /statusz carries the fleet block: one row per live run
+// plus aggregate counts. With -debug-addr a second listener additionally
+// serves /metrics, net/http/pprof, the trace flight recorder at
+// /debug/traces and the ranked rule-cost listing at /debug/rules — keep it
+// off the public interface. With -profile-rules the rule-engine profiler
+// attributes evaluation cost per rule on the default run (wf_rule_* /
+// wf_query_* metric families, the /statusz rule_engine block, and
+// /debug/rules rankings); off by default because attribution adds clock
+// reads to the submit path.
 //
 // Every layer is instrumented: request counts/latency per route, submission
-// accept/reject counters, WAL fsync and snapshot latencies, decider search
-// effort, Go runtime gauges, and request-scoped traces (HTTP → coordinator
-// → WAL span trees, retained per -trace-sample; every log line carries its
-// trace_id). Logs are structured (log/slog): text on a terminal, JSON when
-// piped, overridable with -log-format.
+// accept/reject counters labeled by run, WAL fsync and snapshot latencies,
+// decider search effort, fleet gauges (wf_runs_active, wf_fleet_events), Go
+// runtime gauges, and request-scoped traces (HTTP → coordinator → WAL span
+// trees, retained per -trace-sample; every log line carries its trace_id).
+// Logs are structured (log/slog): text on a terminal, JSON when piped,
+// overridable with -log-format.
 package main
 
 import (
@@ -63,7 +75,6 @@ import (
 	"collabwf/internal/obs"
 	"collabwf/internal/parse"
 	"collabwf/internal/prof"
-	"collabwf/internal/schema"
 	"collabwf/internal/server"
 	"collabwf/internal/wal"
 )
@@ -76,22 +87,22 @@ func (g *guardFlags) Set(s string) error { *g = append(*g, s); return nil }
 func main() {
 	specPath := flag.String("spec", "", "workflow specification file")
 	addr := flag.String("addr", ":8080", "listen address")
-	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
+	dataDir := flag.String("data-dir", "", "durability directory (per-run WALs + snapshots); empty = in-memory only")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
-	snapshotEvery := flag.Int("snapshot-every", 256, "snapshot the run prefix every N accepted events (0 = only at shutdown)")
+	snapshotEvery := flag.Int("snapshot-every", 256, "snapshot each run's prefix every N accepted events (0 = only at shutdown)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request timeout (0 = unbounded)")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum /submit body size in bytes")
-	maxInFlight := flag.Int("max-inflight", 0, "max concurrent /submit requests before shedding with 429 (0 = unbounded)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent /submit requests per run before shedding with 429 (0 = unbounded)")
 	walMaxBatch := flag.Int("wal-max-batch", 0, "max records per group-commit fsync batch (0 = unbounded)")
 	walStrict := flag.Bool("wal-strict", false, "refuse to start on a corrupt WAL record instead of truncating at the first bad record")
-	idemWindow := flag.Int("idem-window", 0, "idempotency-key dedupe window in submissions (0 = 4096)")
+	idemWindow := flag.Int("idem-window", 0, "idempotency-key dedupe window in submissions per run (0 = 4096)")
 	declogDest := flag.String("declog", "", "decision-log sink: a JSONL file path, an http(s):// collector URL, or 'stdout'; empty = disabled")
 	declogBatch := flag.Int("declog-batch", 0, "decision-log records per export batch (0 = 128)")
 	declogFlush := flag.Duration("declog-flush-interval", 0, "max decision-log record age before a partial batch exports (0 = 1s)")
 	declogQueue := flag.Int("declog-queue", 0, "decision-log queue capacity; full queues drop the oldest record (0 = 4096)")
 	declogRotate := flag.Int64("declog-rotate-bytes", 64<<20, "rotate the decision-log file past this size (file sink only; 0 = never)")
-	lockedReads := flag.Bool("locked-reads", false, "serve reads through the coordinator mutex instead of the lock-free snapshot (escape hatch)")
+	lockedReads := flag.Bool("locked-reads", false, "serve reads through each run's coordinator mutex instead of the lock-free snapshot (escape hatch)")
 	debugAddr := flag.String("debug-addr", "", "debug listener (pprof + /metrics + /debug/traces); empty = disabled")
 	traceSample := flag.String("trace-sample", "always", "trace sampling policy: always, error, slow or off")
 	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "root-span duration threshold for -trace-sample slow")
@@ -99,7 +110,7 @@ func main() {
 	logFlags := obs.RegisterLogFlags(flag.CommandLine, "info")
 	profFlags := prof.RegisterFlags(flag.CommandLine, "profile-rules")
 	var guards guardFlags
-	flag.Var(&guards, "guard", "peer=h transparency guard (repeatable)")
+	flag.Var(&guards, "guard", "peer=h transparency guard installed on every fresh run (repeatable)")
 	flag.Parse()
 
 	if *specPath == "" {
@@ -132,12 +143,26 @@ func main() {
 		fatal(err)
 	}
 
+	guardMap := make(map[string]int)
+	for _, g := range guards {
+		peer, hs, ok := strings.Cut(g, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -guard %q, want peer=h", g))
+		}
+		h, err := strconv.Atoi(hs)
+		if err != nil {
+			fatal(fmt.Errorf("bad -guard budget %q: %v", hs, err))
+		}
+		guardMap[peer] = h
+		fmt.Printf("guarding transparency and %d-boundedness for %s (fresh runs)\n", h, peer)
+	}
+
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
 	obs.RegisterBuildInfo(reg)
 
-	// The decision log opens before the coordinator so recovery itself is
-	// the stream's first record (see DurabilityConfig.DecisionLog).
+	// The decision log opens before the fleet so recovery itself is the
+	// stream's first record for every run (see DurabilityConfig.DecisionLog).
 	var declogger *declog.Logger
 	if *declogDest != "" {
 		sink, err := newDeclogSink(*declogDest, *declogRotate, logger)
@@ -158,83 +183,69 @@ func main() {
 		fmt.Printf("decision log streaming to %s\n", sink.Describe())
 	}
 
-	var c *server.Coordinator
+	var syncPolicy wal.SyncPolicy
 	if *dataDir != "" {
-		policy, err := wal.ParsePolicy(*fsync)
+		syncPolicy, err = wal.ParsePolicy(*fsync)
 		if err != nil {
 			fatal(err)
 		}
-		c, err = server.Recover(spec.Name, spec.Program, server.DurabilityConfig{
-			Dir:           *dataDir,
-			Sync:          policy,
+	}
+	m, err := server.NewManager(server.ManagerConfig{
+		Workflow: spec.Name,
+		Prog:     spec.Program,
+		DataDir:  *dataDir,
+		Durability: server.DurabilityConfig{
+			Sync:          syncPolicy,
 			SnapshotEvery: *snapshotEvery,
 			MaxBatch:      *walMaxBatch,
 			Strict:        *walStrict,
 			IdemWindow:    *idemWindow,
 			Metrics:       reg,
-			Logger:        logger,
 			DecisionLog:   declogger,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		if n := c.Len(); n > 0 {
-			fmt.Printf("recovered %d events from %s\n", n, *dataDir)
-		}
-	} else {
-		c = server.New(spec.Name, spec.Program)
-		c.SetDecisionLog(declogger)
+		},
+		HTTP: server.HTTPOptions{
+			RequestTimeout: *requestTimeout,
+			MaxBodyBytes:   *maxBody,
+			Logger:         logger,
+			Tracer:         tracer,
+			MaxInFlight:    *maxInFlight,
+		},
+		Registry:    reg,
+		Logger:      logger,
+		Guards:      guardMap,
+		LockedReads: *lockedReads,
+	})
+	if err != nil {
+		fatal(err)
 	}
-	metrics := c.Instrument(reg)
-	c.SetLogger(logger)
+	runs := m.Runs()
+	if *dataDir != "" {
+		events := 0
+		for _, r := range runs {
+			events += r.Events
+		}
+		if events > 0 || len(runs) > 1 {
+			fmt.Printf("recovered %d runs (%d events) from %s\n", len(runs), events, *dataDir)
+		}
+	}
 	// The rule-engine profiler attributes evaluation cost per rule across
-	// the live run, guard checks and decider searches. It also owns the
-	// process-global condition counters — safe here because wfserve runs
-	// one coordinator per process (request-scoped /certify?profile=1
-	// profilers deliberately do not install them).
+	// the default run's live run, guard checks and decider searches. It owns
+	// the process-global condition counters, but attribution is wired through
+	// the run's own counter sink, so sibling runs in the fleet never bleed
+	// into its tallies (request-scoped /certify?profile=1 profilers
+	// deliberately install nothing global).
 	profiler := profFlags.New()
 	if profiler.Enabled() {
-		c.SetProfiler(profiler)
+		m.Default().SetProfiler(profiler)
 		profiler.InstallCond()
 		profiler.Instrument(reg)
-		fmt.Println("rule-engine profiler on (wf_rule_*, /debug/rules, /statusz rule_engine)")
+		fmt.Println("rule-engine profiler on for the default run (wf_rule_*, /debug/rules, /statusz rule_engine)")
 	}
 	if *lockedReads {
-		c.SetLockedReads(true)
 		fmt.Println("serving reads through the coordinator mutex (-locked-reads)")
 	}
 
-	for _, g := range guards {
-		peer, hs, ok := strings.Cut(g, "=")
-		if !ok {
-			fatal(fmt.Errorf("bad -guard %q, want peer=h", g))
-		}
-		h, err := strconv.Atoi(hs)
-		if err != nil {
-			fatal(fmt.Errorf("bad -guard budget %q: %v", hs, err))
-		}
-		if err := c.Guard(schema.Peer(peer), h); err != nil {
-			if c.Len() > 0 {
-				// A recovered run already has events; guards persisted in
-				// the snapshot are re-installed by Recover, so the flag is
-				// redundant at best and contradictory at worst.
-				fmt.Fprintf(os.Stderr, "wfserve: ignoring -guard %s on a recovered run: %v\n", g, err)
-				continue
-			}
-			fatal(err)
-		}
-		fmt.Printf("guarding transparency and %d-boundedness for %s\n", h, peer)
-	}
-
-	handler := server.NewHandler(c, server.HTTPOptions{
-		RequestTimeout: *requestTimeout,
-		MaxBodyBytes:   *maxBody,
-		Metrics:        metrics,
-		Logger:         logger,
-		Tracer:         tracer,
-		MaxInFlight:    *maxInFlight,
-	})
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	srv := &http.Server{Addr: *addr, Handler: m.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -256,7 +267,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("serving workflow %s on %s\n", spec.Name, *addr)
+		fmt.Printf("serving workflow %s on %s (%d runs)\n", spec.Name, *addr, len(runs))
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -276,11 +287,11 @@ func main() {
 	if debugSrv != nil {
 		_ = debugSrv.Shutdown(drainCtx)
 	}
-	// Final snapshot + WAL close (no-op for the in-memory coordinator).
-	if err := c.Close(); err != nil {
-		fatal(fmt.Errorf("closing coordinator: %w", err))
+	// Final snapshot + WAL close for every run (no-op for in-memory fleets).
+	if err := m.Close(); err != nil {
+		fatal(fmt.Errorf("closing run fleet: %w", err))
 	}
-	// The coordinator is closed, so no new decisions can be emitted: drain
+	// The fleet is closed, so no new decisions can be emitted: drain
 	// whatever the queue still holds and close the sink.
 	if declogger != nil {
 		if err := declogger.Close(drainCtx); err != nil {

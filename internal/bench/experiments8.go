@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"collabwf/internal/data"
+	"collabwf/internal/server"
+	"collabwf/internal/wal"
+	"collabwf/internal/workload"
+)
+
+// E20Fleet — ROADMAP item 1 (multi-run serving). One Manager shards a fleet
+// of workflow runs, each with its own coordinator lock and WAL segment.
+// Under SyncAlways a single run serializes every submission behind one
+// fsync stream; spreading the same client load over N runs gives the fleet
+// N independent fsync streams, so submit throughput scales with the shard
+// count until the disk saturates. The second half of the experiment is the
+// isolation claim behind that scaling: a shard whose WAL fsync stalls must
+// not delay a sibling shard's submissions at all — per-run locks and
+// group-commit pipelines share nothing.
+func E20Fleet(quick bool) (*Table, error) {
+	t := &Table{
+		ID:      "E20",
+		Title:   "fleet submit throughput vs shard count (SyncAlways), stalled-shard isolation",
+		Claim:   "ROADMAP item 1: a sharded run fleet scales durable submit throughput with the shard count and isolates per-run fsync stalls",
+		Columns: []string{"runs", "workers", "ev/s", "×1-run"},
+	}
+	shardCounts := []int{1, 2, 4, 8}
+	perWorker := 16
+	if quick {
+		shardCounts = []int{1, 2, 4}
+		perWorker = 8
+	}
+	const workers = 16 // total, split evenly across the fleet
+	prog := workload.Hiring()
+
+	// runOnce drives `workers` concurrent submitters, split across n runs,
+	// on a fresh durable Manager; returns the fleet-wide submit throughput.
+	runOnce := func(n int) (evPerSec float64, err error) {
+		dir, err := os.MkdirTemp("", "wfbench-e20-*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		m, err := server.NewManager(server.ManagerConfig{
+			Workflow:   "Hiring",
+			Prog:       prog,
+			DataDir:    dir,
+			Durability: server.DurabilityConfig{Sync: wal.SyncAlways},
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer m.Close()
+		ids := make([]string, n)
+		for i := range ids {
+			if i == 0 {
+				ids[i] = server.DefaultRun
+				continue
+			}
+			ids[i] = fmt.Sprintf("shard-%d", i)
+			if err := m.CreateRun(ids[i]); err != nil {
+				return 0, err
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c, ok := m.Run(ids[w%n])
+				if !ok {
+					errs <- fmt.Errorf("run %s not routable", ids[w%n])
+					return
+				}
+				for i := 0; i < perWorker; i++ {
+					bind := map[string]data.Value{"x": data.Value(fmt.Sprintf("w%d-c%d", w, i))}
+					if _, err := c.Submit("hr", "clear", bind); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		dur := time.Since(start)
+		close(errs)
+		for err := range errs {
+			return 0, err
+		}
+		total := 0
+		for _, st := range m.Runs() {
+			total += st.Events
+		}
+		if want := workers * perWorker; total != want {
+			return 0, fmt.Errorf("fleet has %d events, want %d", total, want)
+		}
+		return float64(workers*perWorker) / dur.Seconds(), nil
+	}
+	// Best-of-3 per configuration (same rationale as E16: wall-clock under
+	// parallel CI load, take the best attempt).
+	run := func(n int) (best float64, err error) {
+		for i := 0; i < 3; i++ {
+			ev, err := runOnce(n)
+			if err != nil {
+				return 0, err
+			}
+			if ev > best {
+				best = ev
+			}
+		}
+		return best, nil
+	}
+
+	var oneRun float64
+	for _, n := range shardCounts {
+		ev, err := run(n)
+		if err != nil {
+			return nil, fmt.Errorf("E20 %d runs: %w", n, err)
+		}
+		ratio := 1.0
+		if oneRun > 0 {
+			ratio = ev / oneRun
+		} else {
+			oneRun = ev
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%.0f", ev), fmt.Sprintf("%.1fx", ratio))
+		// The scaling gate: four independent fsync streams must at least
+		// double the single-stream throughput — on hardware that can run
+		// them concurrently. On a single core (or under the race detector)
+		// the shards time-slice one CPU and the floor is regime-aware: the
+		// fleet layer may not cost more than 30% over serving one run.
+		if n == 4 {
+			if runtime.GOMAXPROCS(0) >= 4 && !raceDetector {
+				if ratio < 2.0 {
+					return nil, fmt.Errorf("E20: 4 shards reached only %.1fx the 1-shard throughput, want ≥ 2.0x", ratio)
+				}
+			} else if ratio < 0.7 {
+				return nil, fmt.Errorf("E20: 4 shards cost %.1fx the 1-shard throughput on constrained hardware, floor 0.7x", ratio)
+			}
+		}
+	}
+	if runtime.GOMAXPROCS(0) < 4 || raceDetector {
+		t.Notef("constrained hardware (GOMAXPROCS=%d, race=%v): scaling gate relaxed to a 0.7x overhead floor", runtime.GOMAXPROCS(0), raceDetector)
+	}
+	t.Notef("each shard owns a WAL segment: N runs fsync on N independent streams instead of convoying behind one")
+
+	// Stall isolation: two shards, one with its WAL sync delayed. The
+	// healthy shard's submissions must complete as if the stalled shard did
+	// not exist; the stalled shard pays the delay on every group commit.
+	stallDelay := 3 * time.Millisecond
+	stallOps := 24
+	if quick {
+		stallOps = 12
+	}
+	dir, err := os.MkdirTemp("", "wfbench-e20-stall-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	fps := map[string]*wal.Failpoints{
+		"stalled": wal.NewFailpoints(),
+		"healthy": wal.NewFailpoints(),
+	}
+	m, err := server.NewManager(server.ManagerConfig{
+		Workflow:   "Hiring",
+		Prog:       prog,
+		DataDir:    dir,
+		Durability: server.DurabilityConfig{Sync: wal.SyncAlways},
+		Failpoints: func(run string) *wal.Failpoints { return fps[run] },
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	for _, id := range []string{"stalled", "healthy"} {
+		if err := m.CreateRun(id); err != nil {
+			return nil, err
+		}
+	}
+	fps["stalled"].SlowSync(stallDelay)
+	drive := func(id string) (time.Duration, error) {
+		c, ok := m.Run(id)
+		if !ok {
+			return 0, fmt.Errorf("run %s not routable", id)
+		}
+		start := time.Now()
+		for i := 0; i < stallOps; i++ {
+			bind := map[string]data.Value{"x": data.Value(fmt.Sprintf("%s-c%d", id, i))}
+			if _, err := c.Submit("hr", "clear", bind); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	var stalledDur, healthyDur time.Duration
+	var stalledErr, healthyErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); stalledDur, stalledErr = drive("stalled") }()
+	go func() { defer wg.Done(); healthyDur, healthyErr = drive("healthy") }()
+	wg.Wait()
+	if stalledErr != nil {
+		return nil, fmt.Errorf("E20 stalled shard: %w", stalledErr)
+	}
+	if healthyErr != nil {
+		return nil, fmt.Errorf("E20 healthy shard: %w", healthyErr)
+	}
+	// The stalled shard pays ≥ stallOps × delay by construction. The healthy
+	// shard, submitting concurrently through the same Manager, must finish
+	// well under the stalled floor — half is a generous bound; sharing a
+	// lock or a commit pipeline would pin it to the stalled pace.
+	floor := time.Duration(stallOps) * stallDelay
+	if stalledDur < floor {
+		return nil, fmt.Errorf("E20: stalled shard finished in %v, below its %v fsync-delay floor — the failpoint did not arm", stalledDur, floor)
+	}
+	if healthyDur > floor/2 {
+		return nil, fmt.Errorf("E20: healthy shard took %v while a sibling stalled (stalled %v) — shards are not isolated", healthyDur, stalledDur)
+	}
+	t.Notef("stalled-shard isolation: %d submits took %v on the shard with %v fsync delay, %v on the healthy sibling",
+		stallOps, stalledDur.Round(time.Millisecond), stallDelay, healthyDur.Round(time.Millisecond))
+	return t, nil
+}

@@ -15,7 +15,7 @@ import (
 
 // Table is one experiment's result.
 type Table struct {
-	// ID is the experiment identifier (E1..E19).
+	// ID is the experiment identifier (E1..E20).
 	ID string
 	// Title summarizes the experiment.
 	Title string
@@ -106,5 +106,6 @@ func All() []Experiment {
 		{"E17", E17ReadPath},
 		{"E18", E18DecisionLog},
 		{"E19", E19RuleProfiler},
+		{"E20", E20Fleet},
 	}
 }

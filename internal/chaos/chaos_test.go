@@ -54,3 +54,39 @@ func TestChaosQuick(t *testing.T) {
 		t.Errorf("decision pipeline shed %d records", sum.DecisionsDropped)
 	}
 }
+
+// TestFleetQuick is the CI-sized multi-run soak: four runs under one
+// Manager, full-fleet crash/recover cycles with independent WAL-tail
+// truncation, and per-run durability, idempotency, and cross-run-isolation
+// invariants checked after every recovery.
+func TestFleetQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet soak skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	sum, err := RunFleet(ctx, FleetConfig{
+		Seed: 42,
+		Runs: 4,
+		Ops:  160,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fleet summary: runs=%d ops=%d acked=%d ambiguous=%d retries=%d recoveries=%d per_run=%v",
+		sum.Runs, sum.Ops, sum.Acked, sum.Ambiguous, sum.Retries, sum.Recoveries, sum.PerRun)
+	for _, v := range sum.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if sum.Recoveries < 3 {
+		t.Errorf("only %d fleet recoveries, want ≥ 3", sum.Recoveries)
+	}
+	if sum.Acked == 0 {
+		t.Error("no operation was ever acknowledged — the fleet made no progress")
+	}
+	for _, id := range fleetRunIDs(4) {
+		if sum.PerRun[id] == 0 {
+			t.Errorf("run %s ended the soak with no events", id)
+		}
+	}
+}

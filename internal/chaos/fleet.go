@@ -1,0 +1,464 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"collabwf/internal/client"
+	"collabwf/internal/obs"
+	"collabwf/internal/server"
+	"collabwf/internal/trace"
+	"collabwf/internal/wal"
+	"collabwf/internal/workload"
+)
+
+// FleetConfig tunes a multi-run fleet soak (RunFleet).
+type FleetConfig struct {
+	// Seed drives every random choice; the same seed replays the same soak.
+	Seed int64
+	// Runs is the fleet size, the default run included; ≤ 1 means 4.
+	Runs int
+	// Ops is the total submission budget, split evenly across the fleet;
+	// ≤ 0 means 100 per run.
+	Ops int
+	// Cycles is the number of full-fleet crash/recover cycles interleaved
+	// with the traffic (the final verdict cycle included); ≤ 0 means 3.
+	Cycles int
+	// SnapshotEvery is each run's snapshot threshold; ≤ 0 means 32.
+	SnapshotEvery int
+	// Dir is the fleet data directory; "" means a fresh temp dir (removed
+	// on success, kept on failure for inspection).
+	Dir string
+	// Logger, when non-nil, narrates crashes and recoveries.
+	Logger *slog.Logger
+}
+
+// FleetSummary reports what a fleet soak did and found.
+type FleetSummary struct {
+	Seed       int64          `json:"seed"`
+	Runs       int            `json:"runs"`
+	Ops        int            `json:"ops"`
+	Acked      int            `json:"acked"`
+	Ambiguous  int            `json:"ambiguous"`
+	Retries    int64          `json:"client_retries"`
+	Recoveries int            `json:"recoveries"`
+	Checks     int            `json:"invariant_checks"`
+	PerRun     map[string]int `json:"events_per_run"`
+	Violations []string       `json:"violations,omitempty"`
+	Duration   string         `json:"duration"`
+}
+
+// fleetHarness is the mutable state of one fleet soak.
+type fleetHarness struct {
+	cfg FleetConfig
+	rnd *rand.Rand
+	log *slog.Logger
+	dir string
+	ids []string
+
+	// handler is the live fleet handler; nil drops connections (the whole
+	// process is "down" during a crash — every run dies together).
+	handler atomic.Pointer[http.Handler]
+
+	// m is the current manager generation; mMu orders crash/recover against
+	// invariant checks.
+	mMu sync.Mutex
+	m   *server.Manager
+
+	// acked maps run id → candidate → acknowledged index; ambiguous holds
+	// candidates whose outcome the client never learned, per run.
+	ackMu     sync.Mutex
+	acked     map[string]map[string]int
+	ambiguous map[string]map[string]bool
+
+	retries atomic.Int64
+
+	vioMu      sync.Mutex
+	violations []string
+}
+
+func (h *fleetHarness) violatef(format string, args ...any) {
+	h.vioMu.Lock()
+	defer h.vioMu.Unlock()
+	h.violations = append(h.violations, fmt.Sprintf(format, args...))
+}
+
+// RunFleet executes one seeded multi-run soak: a fleet of runs served by one
+// Manager, each run driven by its own retrying client over real HTTP with
+// run-namespaced candidates, crash/recovered as a whole fleet (every WAL
+// tail truncated independently at a random point above its durable offset),
+// then checked per run:
+//
+//  1. durable-prefix-exact replay per run: each run's released pre-crash
+//     prefix is a prefix of that run's recovered trace, event for event;
+//  2. no double-apply per run, despite client retries across the crash;
+//  3. no cross-run leakage: a candidate namespaced to run A never appears
+//     in run B's trace — the sharded idempotency window, WAL segment and
+//     commit path of one run must be invisible to its siblings;
+//  4. every acknowledged candidate survives in exactly its own run.
+//
+// The error is non-nil only for harness-level failures; invariant
+// violations are reported in FleetSummary.Violations.
+func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetSummary, error) {
+	start := time.Now()
+	if cfg.Runs <= 1 {
+		cfg.Runs = 4
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 100 * cfg.Runs
+	}
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 3
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 32
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
+	h := &fleetHarness{
+		cfg:       cfg,
+		rnd:       rand.New(rand.NewSource(cfg.Seed)),
+		log:       logger,
+		acked:     make(map[string]map[string]int),
+		ambiguous: make(map[string]map[string]bool),
+	}
+	ownDir := false
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "wffleet-*")
+		if err != nil {
+			return nil, err
+		}
+		cfg.Dir, ownDir = dir, true
+	}
+	h.dir = cfg.Dir
+	h.ids = fleetRunIDs(cfg.Runs)
+	for _, id := range h.ids {
+		h.acked[id] = make(map[string]int)
+		h.ambiguous[id] = make(map[string]bool)
+	}
+
+	if err := h.openFleet(true); err != nil {
+		return nil, err
+	}
+
+	// One persistent listener across every manager generation: crashes swap
+	// the handler, clients keep their base URLs.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hp := h.handler.Load()
+		if hp == nil {
+			panic(http.ErrAbortHandler)
+		}
+		(*hp).ServeHTTP(w, r)
+	})}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Traffic interleaved with full-fleet crashes: each cycle drives a slice
+	// of every run's op budget concurrently, then kills and recovers the
+	// whole fleet and checks the per-run invariants.
+	perRun := cfg.Ops / cfg.Runs
+	perCycle := perRun / cfg.Cycles
+	if perCycle == 0 {
+		perCycle = 1
+	}
+	clients := h.clients(base)
+	recoveries, checks := 0, 0
+	opsDone := 0
+	for cycle := 0; cycle < cfg.Cycles && ctx.Err() == nil; cycle++ {
+		from := cycle * perCycle
+		to := from + perCycle
+		if cycle == cfg.Cycles-1 {
+			to = perRun
+		}
+		h.drive(ctx, clients, from, to)
+		opsDone += (to - from) * cfg.Runs
+		h.crashRecoverFleet()
+		recoveries++
+		checks += cfg.Runs
+	}
+	for _, cl := range clients {
+		h.retries.Add(cl.Retries())
+	}
+
+	// Final cross-run leakage sweep over the recovered fleet.
+	h.mMu.Lock()
+	m := h.m
+	h.mMu.Unlock()
+	perRunEvents := make(map[string]int, cfg.Runs)
+	for _, id := range h.ids {
+		co, ok := m.Run(id)
+		if !ok {
+			h.violatef("run %s missing from the recovered fleet", id)
+			continue
+		}
+		tr := co.Trace()
+		perRunEvents[id] = len(tr.Events)
+		for i, ev := range tr.Events {
+			if owner := candidateRun(ev.Valuation["x"]); owner != id {
+				h.violatef("cross-run leakage: run %s event %d holds candidate %q (owner %s)",
+					id, i, ev.Valuation["x"], owner)
+			}
+		}
+	}
+	checks++
+	if err := m.Close(); err != nil {
+		h.violatef("closing fleet: %v", err)
+	}
+
+	acked, ambiguous := 0, 0
+	h.ackMu.Lock()
+	for _, byRun := range h.acked {
+		acked += len(byRun)
+	}
+	for _, byRun := range h.ambiguous {
+		ambiguous += len(byRun)
+	}
+	h.ackMu.Unlock()
+	sum := &FleetSummary{
+		Seed:       cfg.Seed,
+		Runs:       cfg.Runs,
+		Ops:        opsDone,
+		Acked:      acked,
+		Ambiguous:  ambiguous,
+		Retries:    h.retries.Load(),
+		Recoveries: recoveries,
+		Checks:     checks,
+		PerRun:     perRunEvents,
+		Violations: h.violations,
+		Duration:   time.Since(start).String(),
+	}
+	if ownDir && len(h.violations) == 0 {
+		os.RemoveAll(h.dir)
+	}
+	return sum, nil
+}
+
+// fleetRunIDs names the fleet: the default run plus n-1 numbered siblings.
+func fleetRunIDs(n int) []string {
+	ids := make([]string, 0, n)
+	ids = append(ids, server.DefaultRun)
+	for i := 1; i < n; i++ {
+		ids = append(ids, fmt.Sprintf("run%02d", i))
+	}
+	return ids
+}
+
+// candidateRun recovers the owning run id from a namespaced candidate
+// ("run01:op7" → "run01").
+func candidateRun(x string) string {
+	for i := 0; i < len(x); i++ {
+		if x[i] == ':' {
+			return x[:i]
+		}
+	}
+	return x
+}
+
+// clients builds one /runs/{id}/-scoped retrying client per run. Built once
+// per soak and kept across crash/recover cycles: a client that outlives the
+// server keeps its idempotency-key identity, so a key is never reissued —
+// reseeding a fresh client per cycle would replay earlier submissions out
+// of the recovered dedupe window instead of applying new events.
+func (h *fleetHarness) clients(base string) map[string]*client.Client {
+	out := make(map[string]*client.Client, len(h.ids))
+	for i, id := range h.ids {
+		out[id] = client.New(base, client.Options{
+			RequestTimeout: 5 * time.Second,
+			MaxRetries:     16,
+			BaseBackoff:    2 * time.Millisecond,
+			MaxBackoff:     250 * time.Millisecond,
+			Rand:           rand.New(rand.NewSource(h.cfg.Seed + int64(i) + 1)),
+		}).ForRun(id)
+	}
+	return out
+}
+
+// drive submits ops [from, to) on every run concurrently through the run's
+// long-lived client.
+func (h *fleetHarness) drive(ctx context.Context, clients map[string]*client.Client, from, to int) {
+	var wg sync.WaitGroup
+	for _, id := range h.ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			cl := clients[id]
+			for n := from; n < to && ctx.Err() == nil; n++ {
+				x := fmt.Sprintf("%s:op%d", id, n)
+				res, err := cl.Submit(ctx, "hr", "clear", map[string]string{"x": x})
+				h.ackMu.Lock()
+				if err == nil {
+					h.acked[id][x] = res.Index
+				} else {
+					h.ambiguous[id][x] = true
+				}
+				h.ackMu.Unlock()
+				if n%5 == 2 {
+					rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+					_, _ = cl.View(rctx, "hr")
+					cancel()
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// openFleet recovers (or first boots) a manager generation over the fleet
+// data dir and publishes its handler. create makes the named runs on first
+// boot; recoveries find them in the startup scan.
+func (h *fleetHarness) openFleet(create bool) error {
+	m, err := server.NewManager(server.ManagerConfig{
+		Workflow: "Hiring",
+		Prog:     workload.Hiring(),
+		DataDir:  h.dir,
+		Durability: server.DurabilityConfig{
+			Sync:          wal.SyncAlways,
+			SnapshotEvery: h.cfg.SnapshotEvery,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: fleet recovery failed: %w", err)
+	}
+	if create {
+		for _, id := range h.ids {
+			if id == server.DefaultRun {
+				continue
+			}
+			if err := m.CreateRun(id); err != nil {
+				m.Close()
+				return fmt.Errorf("chaos: creating run %s: %w", id, err)
+			}
+		}
+	}
+	h.mMu.Lock()
+	h.m = m
+	h.mMu.Unlock()
+	handler := m.Handler()
+	h.handler.Store(&handler)
+	return nil
+}
+
+// runWAL returns one run's WAL path under the fleet data dir.
+func (h *fleetHarness) runWAL(id string) string {
+	if id == server.DefaultRun {
+		return filepath.Join(h.dir, "wal.log")
+	}
+	return filepath.Join(h.dir, "runs", id, "wal.log")
+}
+
+// crashRecoverFleet kills every run at once — each WAL tail independently
+// truncated at a random point above its durable offset, like page-cache
+// loss across one machine — recovers the whole fleet through the manager's
+// startup scan, and checks each run's invariants in isolation.
+func (h *fleetHarness) crashRecoverFleet() {
+	h.handler.Store(nil)
+	h.mMu.Lock()
+	m := h.m
+	h.mMu.Unlock()
+
+	pre := make(map[string]*trace.Trace, len(h.ids))
+	for _, id := range h.ids {
+		co, ok := m.Run(id)
+		if !ok {
+			h.violatef("run %s missing before the crash", id)
+			continue
+		}
+		pre[id] = co.Trace()
+		durable, size, err := co.Crash()
+		if err != nil {
+			h.violatef("run %s crash: %v", id, err)
+			continue
+		}
+		if size > durable && h.rnd.Intn(2) == 0 {
+			cut := durable + h.rnd.Int63n(size-durable+1)
+			if err := os.Truncate(h.runWAL(id), cut); err != nil {
+				h.violatef("run %s: truncating tail: %v", id, err)
+			}
+		}
+	}
+
+	if err := h.openFleet(false); err != nil {
+		h.violatef("%v", err)
+		return
+	}
+	h.mMu.Lock()
+	rec := h.m
+	h.mMu.Unlock()
+
+	for _, id := range h.ids {
+		co, ok := rec.Run(id)
+		if !ok {
+			h.violatef("run %s missing after recovery", id)
+			continue
+		}
+		preLen := 0
+		if pre[id] != nil {
+			preLen = len(pre[id].Events)
+		}
+		h.log.Info("fleet run recovered", slog.String("run", id),
+			slog.Int("pre_events", preLen), slog.Int("recovered_events", co.Len()))
+		h.checkRun(id, pre[id], co)
+	}
+	h.log.Info("fleet crash/recover cycle complete", slog.Int("runs", len(h.ids)))
+}
+
+// checkRun asserts one run's invariants against its recovered coordinator.
+func (h *fleetHarness) checkRun(id string, pre *trace.Trace, rec *server.Coordinator) {
+	post := rec.Trace()
+	if pre != nil {
+		if len(post.Events) < len(pre.Events) {
+			h.violatef("run %s: recovered run (%d events) shorter than the released pre-crash prefix (%d)",
+				id, len(post.Events), len(pre.Events))
+		}
+		for i := range pre.Events {
+			if i >= len(post.Events) {
+				break
+			}
+			a, b := pre.Events[i], post.Events[i]
+			if a.Rule != b.Rule || a.Valuation["x"] != b.Valuation["x"] {
+				h.violatef("run %s: event %d diverged across recovery: %s(%v) → %s(%v)",
+					id, i, a.Rule, a.Valuation, b.Rule, b.Valuation)
+			}
+		}
+	}
+	counts := make(map[string]int, len(post.Events))
+	for _, ev := range post.Events {
+		counts[ev.Valuation["x"]]++
+		if owner := candidateRun(ev.Valuation["x"]); owner != id {
+			h.violatef("run %s: cross-run leakage: candidate %q (owner %s) in this run's trace",
+				id, ev.Valuation["x"], owner)
+		}
+	}
+	for x, n := range counts {
+		if n > 1 {
+			h.violatef("run %s: candidate %s applied %d times (retry double-apply)", id, x, n)
+		}
+	}
+	h.ackMu.Lock()
+	for x, idx := range h.acked[id] {
+		if counts[x] != 1 {
+			h.violatef("run %s: acked candidate %s (index %d) appears %d times in the recovered run",
+				id, x, idx, counts[x])
+		}
+	}
+	h.ackMu.Unlock()
+	if n := rec.WALCorruptRecords(); n != 0 {
+		h.violatef("run %s: recovery dropped %d corrupt records from an uncorrupted log", id, n)
+	}
+}

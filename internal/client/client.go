@@ -82,6 +82,8 @@ type Options struct {
 }
 
 // Client is a resilient coordinator API client. Safe for concurrent use.
+// The mutable state lives behind pointers so ForRun can derive run-scoped
+// clients that share one transport, key sequence and retry counter.
 type Client struct {
 	base string
 	http *http.Client
@@ -89,14 +91,14 @@ type Client struct {
 
 	// keyPrefix + keySeq generate process-unique idempotency keys.
 	keyPrefix string
-	keySeq    atomic.Int64
+	keySeq    *atomic.Int64
 
 	// mu guards rnd (rand.Rand is not goroutine-safe).
-	mu  sync.Mutex
+	mu  *sync.Mutex
 	rnd *rand.Rand
 
 	// retries counts retried attempts, for reporting.
-	retries atomic.Int64
+	retries *atomic.Int64
 }
 
 // New returns a client for the coordinator at baseURL (e.g.
@@ -130,12 +132,73 @@ func New(baseURL string, opts Options) *Client {
 		http:      hc,
 		opts:      opts,
 		keyPrefix: fmt.Sprintf("%08x", rnd.Uint32()),
+		keySeq:    new(atomic.Int64),
+		mu:        new(sync.Mutex),
 		rnd:       rnd,
+		retries:   new(atomic.Int64),
 	}
 }
 
 // Retries reports how many retried attempts the client has issued.
 func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// ForRun returns a client scoped to one run of a fleet server: every call
+// routes under /runs/{id}/... . The derived client shares the parent's
+// transport, retry policy, idempotency-key generator and retry counter, so
+// keys stay process-unique across runs and Retries() reports fleet-wide.
+func (c *Client) ForRun(id string) *Client {
+	out := *c
+	out.base = c.base + "/runs/" + id
+	return &out
+}
+
+// RunInfo is one run's row in a /runs listing.
+type RunInfo struct {
+	ID               string  `json:"id"`
+	Workflow         string  `json:"workflow"`
+	Events           int     `json:"events"`
+	CommitQueueDepth int     `json:"commit_queue_depth"`
+	Subscribers      int     `json:"subscribers"`
+	Ready            string  `json:"ready"`
+	WALStalled       string  `json:"wal_stalled,omitempty"`
+	SnapshotAge      float64 `json:"snapshot_age_seconds"`
+}
+
+// RunList is the /runs response: the live fleet plus lifetime tallies.
+type RunList struct {
+	Active   int       `json:"active"`
+	Created  int       `json:"created"`
+	Archived int       `json:"archived"`
+	Events   int       `json:"events"`
+	Runs     []RunInfo `json:"runs"`
+}
+
+// CreateRun creates a run on a fleet server. Creation is not idempotent on
+// the server (a second create of the same id answers 409), so it runs as a
+// single attempt — the caller decides whether an "already exists" after an
+// ambiguous first attempt is success.
+func (c *Client) CreateRun(ctx context.Context, id string) error {
+	body, err := json.Marshal(map[string]string{"id": id})
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	return c.attempt(ctx, http.MethodPost, "/runs", body, "", &struct{}{})
+}
+
+// DeleteRun archives a run: its final snapshot is written and its WAL
+// closed; the id disappears from routing.
+func (c *Client) DeleteRun(ctx context.Context, id string) error {
+	return c.attempt(ctx, http.MethodDelete, "/runs/"+id, nil, "", &struct{}{})
+}
+
+// ListRuns lists the live fleet.
+func (c *Client) ListRuns(ctx context.Context) (*RunList, error) {
+	var out RunList
+	if err := c.do(ctx, http.MethodGet, "/runs", nil, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
 
 // NewKey returns a fresh process-unique idempotency key.
 func (c *Client) NewKey() string {

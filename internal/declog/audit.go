@@ -42,8 +42,11 @@ type AuditReport struct {
 	Explains   int `json:"explains"`
 	Recovers   int `json:"recovers"`
 	// RunLen is the length of the run reconstructed from the accepted
-	// records.
+	// records — summed across runs when the log spans a fleet.
 	RunLen int `json:"run_len"`
+	// Runs maps run id → replayed length when the log was written by a run
+	// fleet (records carry a non-empty Run field). Single-run logs omit it.
+	Runs map[string]int `json:"runs,omitempty"`
 	// RecheckedRejections / RecheckedExplains / RecheckedCertifies count the
 	// verdicts actually recomputed (vs structurally checked only).
 	RecheckedRejections int `json:"rechecked_rejections"`
@@ -102,7 +105,80 @@ func (a *auditor) mismatch(format string, args ...any) {
 // WAS decided, never as evidence of what was NOT: missing records past the
 // contiguous accepted prefix are reported, extra recomputation-consistent
 // records never are.
+//
+// A log written by a run fleet interleaves records of many independent
+// runs (the Run field); Audit partitions by run id, replays each run's
+// records in isolation — one run's events must never leak into another's
+// replay — and merges the per-run reports, prefixing mismatches with the
+// run they belong to.
 func Audit(p *program.Program, r io.Reader, opts AuditOptions) (*AuditReport, error) {
+	var all []Decision
+	dec := json.NewDecoder(r)
+	for {
+		var d Decision
+		if err := dec.Decode(&d); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("declog: parsing record %d: %w", len(all)+1, err)
+		}
+		all = append(all, d)
+	}
+	groups := make(map[string][]Decision)
+	for _, d := range all {
+		groups[d.Run] = append(groups[d.Run], d)
+	}
+	ids := make([]string, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rep := &AuditReport{Records: len(all)}
+	if len(ids) > 1 || (len(ids) == 1 && ids[0] != "") {
+		rep.Runs = make(map[string]int, len(ids))
+	}
+	for _, id := range ids {
+		sub := auditRun(p, groups[id], opts)
+		mergeReports(rep, sub, id, opts)
+	}
+	return rep, nil
+}
+
+// mergeReports folds one run's report into the fleet report, attributing
+// its mismatches to the run.
+func mergeReports(rep, sub *AuditReport, id string, opts AuditOptions) {
+	rep.Accepted += sub.Accepted
+	rep.Replayed += sub.Replayed
+	rep.Rejections += sub.Rejections
+	rep.Guards += sub.Guards
+	rep.Certifies += sub.Certifies
+	rep.Explains += sub.Explains
+	rep.Recovers += sub.Recovers
+	rep.RunLen += sub.RunLen
+	rep.RecheckedRejections += sub.RecheckedRejections
+	rep.RecheckedExplains += sub.RecheckedExplains
+	rep.RecheckedCertifies += sub.RecheckedCertifies
+	rep.Suppressed += sub.Suppressed
+	if rep.Runs != nil {
+		rep.Runs[id] = sub.RunLen
+	}
+	max := opts.MaxMismatches
+	if max <= 0 {
+		max = 50
+	}
+	for _, ms := range sub.Mismatches {
+		if id != "" {
+			ms = fmt.Sprintf("run %q: %s", id, ms)
+		}
+		if len(rep.Mismatches) >= max {
+			rep.Suppressed++
+			continue
+		}
+		rep.Mismatches = append(rep.Mismatches, ms)
+	}
+}
+
+// auditRun replays one run's records (see Audit).
+func auditRun(p *program.Program, records []Decision, opts AuditOptions) *AuditReport {
 	a := &auditor{
 		prog:     p,
 		opts:     opts,
@@ -112,21 +188,13 @@ func Audit(p *program.Program, r io.Reader, opts AuditOptions) (*AuditReport, er
 		monitors: make(map[schema.Peer]*design.Monitor),
 	}
 
-	// Pass 1: parse and partition. Emit order is not run order under group
+	// Pass 1: partition. Emit order is not run order under group
 	// commit (a reject can enqueue while earlier accepts await their fsync),
 	// so the replay is driven by run position — Index for accepted records,
 	// RunLen for rejection rechecks — not by sequence number.
 	var accepted = make(map[int]Decision)
 	var rechecks, replays, certifies, explains []Decision
-	dec := json.NewDecoder(r)
-	for {
-		var d Decision
-		if err := dec.Decode(&d); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("declog: parsing record %d: %w", a.rep.Records+1, err)
-		}
-		a.rep.Records++
+	for _, d := range records {
 		switch d.Kind {
 		case KindGuard:
 			a.rep.Guards++
@@ -245,7 +313,7 @@ func Audit(p *program.Program, r io.Reader, opts AuditOptions) (*AuditReport, er
 			a.recheckCertify(d)
 		}
 	}
-	return a.rep, nil
+	return a.rep
 }
 
 // applyAccepted replays one accepted record: the event must re-apply

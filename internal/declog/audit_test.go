@@ -265,3 +265,95 @@ func TestAuditMismatchBound(t *testing.T) {
 		t.Fatal("suppressed mismatches must still fail the audit")
 	}
 }
+
+// fleetLog interleaves two runs' faithful hiring logs record by record, the
+// way a shared decision stream written by a run fleet would: every record
+// stamped with its run id, seqs globally increasing across the stream.
+func fleetLog(t *testing.T) []Decision {
+	t.Helper()
+	alpha, _ := hiringLog(t)
+	beta, _ := hiringLog(t)
+	var out []Decision
+	for i := 0; i < len(alpha) || i < len(beta); i++ {
+		if i < len(alpha) {
+			d := alpha[i]
+			d.Run = "alpha"
+			out = append(out, d)
+		}
+		if i < len(beta) {
+			d := beta[i]
+			d.Run = "beta"
+			out = append(out, d)
+		}
+	}
+	for i := range out {
+		out[i].Seq = uint64(i + 1)
+	}
+	return out
+}
+
+// TestAuditMultiRunLog: a fleet's interleaved decision stream partitions by
+// run id and each run replays in isolation. The two runs here reuse the
+// same candidate values — only per-run replay keeps both faithful; a replay
+// that leaked one run's events into the other would trip the freshness
+// check and flag the log.
+func TestAuditMultiRunLog(t *testing.T) {
+	recs := fleetLog(t)
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("faithful fleet log flagged: %v", rep.Mismatches)
+	}
+	if len(rep.Runs) != 2 || rep.Runs["alpha"] != 4 || rep.Runs["beta"] != 4 {
+		t.Fatalf("per-run lengths = %v, want alpha:4 beta:4", rep.Runs)
+	}
+	if rep.RunLen != 8 || rep.Accepted != 8 || rep.Guards != 2 || rep.Explains != 2 {
+		t.Fatalf("fleet totals = %+v", rep)
+	}
+}
+
+// TestAuditMultiRunAttributesMismatches: tampering with one run's record is
+// reported against that run — prefixed with its id — and must not poison
+// the sibling run's replay.
+func TestAuditMultiRunAttributesMismatches(t *testing.T) {
+	recs := fleetLog(t)
+	for i := range recs {
+		if recs[i].Run == "beta" && recs[i].Rule == "cfo_ok" && recs[i].Decision == Accepted {
+			recs[i].Valuation = map[string]string{"x": "ghost"}
+		}
+	}
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("tampered fleet log not flagged")
+	}
+	for _, ms := range rep.Mismatches {
+		if !strings.Contains(ms, `run "beta"`) {
+			t.Fatalf("mismatch not attributed to its run: %q", ms)
+		}
+	}
+	// alpha replays to its full length; beta stalls at the broken record.
+	if rep.Runs["alpha"] != 4 || rep.Runs["beta"] != 1 {
+		t.Fatalf("per-run lengths = %v, want alpha:4 beta:1", rep.Runs)
+	}
+}
+
+// TestAuditSingleRunLogStaysLegacy: a pre-fleet log (no run ids) audits as
+// before — one anonymous run, no per-run breakdown in the report.
+func TestAuditSingleRunLogStaysLegacy(t *testing.T) {
+	recs, run := hiringLog(t)
+	rep, err := Audit(workload.Hiring(), encodeLog(t, recs), AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() || rep.RunLen != run.Len() {
+		t.Fatalf("legacy log flagged: %+v", rep)
+	}
+	if rep.Runs != nil {
+		t.Fatalf("legacy log grew a runs breakdown: %v", rep.Runs)
+	}
+}

@@ -83,6 +83,10 @@ type Decision struct {
 	Time time.Time `json:"time"`
 	// Workflow names the coordinator's program.
 	Workflow string `json:"workflow,omitempty"`
+	// Run identifies the workflow instance (shard) within a run fleet that
+	// made the decision; empty for the classic single-run server. Audits
+	// partition the stream by this field before replaying.
+	Run string `json:"run,omitempty"`
 	// Kind is the operation (submit, certify, explain, guard, recover).
 	Kind string `json:"kind"`
 	// Decision is the verdict (accepted, rejected, replayed, certified,

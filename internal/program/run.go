@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"collabwf/internal/cond"
 	"collabwf/internal/data"
 	"collabwf/internal/prof"
 	"collabwf/internal/query"
@@ -48,8 +49,17 @@ type Run struct {
 
 // SetProfiler attaches a profiler scope to the run (nil detaches). The
 // scope shares the run's non-concurrency: callers serialize through the
-// same lock that guards the run itself.
-func (r *Run) SetProfiler(sc *prof.Scope) { r.prof = sc }
+// same lock that guards the run itself. Cached views are evicted so their
+// memoized materializations count condition evals against the new scope's
+// sink (see ViewAt) rather than the one active when they were built.
+func (r *Run) SetProfiler(sc *prof.Scope) {
+	if r.prof != sc {
+		for k := range r.views {
+			delete(r.views, k)
+		}
+	}
+	r.prof = sc
+}
 
 // Profiler returns the run's profiler scope (nil when profiling is off).
 func (r *Run) Profiler() *prof.Scope { return r.prof }
@@ -123,7 +133,10 @@ func (r *Run) ViewAt(i int, p schema.Peer) *schema.ViewInstance {
 	if v, ok := r.views[k]; ok {
 		return v
 	}
-	v := schema.ViewOf(r.InstanceAt(i), r.Prog.Schema, p)
+	// The run's own counter block (not the process-global sink) receives
+	// the condition evals of this view's materialization, so N runs in one
+	// process attribute selection work to their own profilers.
+	v := schema.ViewOf(r.InstanceAt(i), r.Prog.Schema, p).CountConds(r.prof.CondCounts())
 	r.views[k] = v
 	return v
 }
@@ -133,7 +146,7 @@ func (r *Run) ViewAt(i int, p schema.Peer) *schema.ViewInstance {
 // effect-local: relations the event did not touch cannot change any view,
 // so only the affected tuples' visibility and projections are compared.
 func (r *Run) VisibleAt(i int, p schema.Peer) bool {
-	return StepVisibleAt(r.Prog.Schema, &r.Steps[i], p)
+	return StepVisibleAtCount(r.Prog.Schema, &r.Steps[i], p, r.prof.CondCounts())
 }
 
 // StepVisibleAt is VisibleAt over a single step, without the run: visibility
@@ -141,6 +154,13 @@ func (r *Run) VisibleAt(i int, p schema.Peer) bool {
 // holding an immutable step prefix (the coordinator's read snapshots) can
 // answer it with no access to the live — possibly growing — run.
 func StepVisibleAt(s *schema.Collaborative, st *Step, p schema.Peer) bool {
+	return StepVisibleAtCount(s, st, p, nil)
+}
+
+// StepVisibleAtCount is StepVisibleAt with an explicit condition-eval count
+// sink (nil = the process-global sink), so per-run profilers attribute the
+// visibility checks' selection evaluations to their own run.
+func StepVisibleAtCount(s *schema.Collaborative, st *Step, p schema.Peer, cs *cond.EvalCounts) bool {
 	if st.Event.Peer() == p {
 		return true
 	}
@@ -150,10 +170,10 @@ func StepVisibleAt(s *schema.Collaborative, st *Step, p schema.Peer) bool {
 			continue
 		}
 		var before, after data.Tuple
-		if ef.Before != nil && v.Sees(ef.Before) {
+		if ef.Before != nil && v.SeesCount(ef.Before, cs) {
 			before = v.Project(ef.Before)
 		}
-		if ef.After != nil && v.Sees(ef.After) {
+		if ef.After != nil && v.SeesCount(ef.After, cs) {
 			after = v.Project(ef.After)
 		}
 		if (before == nil) != (after == nil) {
@@ -212,7 +232,7 @@ func (r *Run) Append(e *Event) error {
 			return fmt.Errorf("program: event %s: fresh variables share value %s", e, v)
 		}
 	}
-	next, effects, err := Apply(cur, e, r.Prog.Schema)
+	next, effects, err := ApplyCount(cur, e, r.Prog.Schema, r.prof.CondCounts())
 	if err != nil {
 		return err
 	}

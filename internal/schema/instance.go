@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"collabwf/internal/cond"
 	"collabwf/internal/data"
 )
 
@@ -273,6 +274,10 @@ type ViewInstance struct {
 	views map[string]*View
 	src   *Instance
 	rels  map[string]map[data.Value]data.Tuple
+	// cnt, when set, receives the condition-eval counts of the view
+	// selections materialized by this instance (per-run profilers); nil
+	// routes them to the process-global cond sink.
+	cnt *cond.EvalCounts
 }
 
 // ViewOf computes I@p under the collaborative schema s.
@@ -292,12 +297,21 @@ func (vi *ViewInstance) rows(rel string) map[data.Value]data.Tuple {
 	}
 	rows := make(map[data.Value]data.Tuple)
 	for k, t := range vi.src.rels[rel] {
-		if v.Sees(t) {
+		if v.SeesCount(t, vi.cnt) {
 			rows[k] = v.Project(t)
 		}
 	}
 	vi.rels[rel] = rows
 	return rows
+}
+
+// CountConds routes the condition evaluations of selections materialized
+// by this view instance to cs instead of the process-global sink. It must
+// be set before the first access to any relation (materialization is
+// memoized) and returns the receiver for chaining.
+func (vi *ViewInstance) CountConds(cs *cond.EvalCounts) *ViewInstance {
+	vi.cnt = cs
+	return vi
 }
 
 // View returns the view definition for rel at this peer.

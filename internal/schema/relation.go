@@ -235,6 +235,17 @@ func (v *View) Sees(t data.Tuple) bool {
 	return v.Selection.Eval(v.Rel.pos, t)
 }
 
+// SeesCount is Sees with an explicit condition-eval count sink (nil =
+// global sink), so callers that own per-run profiler counters attribute
+// the selection's node visits to their run rather than to whichever
+// profiler installed the process-global sink last.
+func (v *View) SeesCount(t data.Tuple, cs *cond.EvalCounts) bool {
+	if cs == nil {
+		return v.Selection.Eval(v.Rel.pos, t)
+	}
+	return v.Selection.EvalCount(v.Rel.pos, t, cs)
+}
+
 // Project projects a full tuple over R onto the view attributes.
 func (v *View) Project(t data.Tuple) data.Tuple {
 	out := make(data.Tuple, len(v.srcIdx))

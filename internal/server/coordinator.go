@@ -73,8 +73,14 @@ type Coordinator struct {
 	mu sync.Mutex
 
 	name string
-	prog *program.Program
-	run  *program.Run
+	// runID identifies this coordinator's workflow instance within a run
+	// fleet ("" for the classic single-run server). It scopes state that
+	// would otherwise be process- or key-global: idempotency entries (the
+	// same client key against two runs must not cross-dedupe) and the Run
+	// field of emitted decision records.
+	runID string
+	prog  *program.Program
+	run   *program.Run
 
 	explainers map[schema.Peer]*core.Explainer
 	// guards maps each transparency-controlled peer to its step budget h,
@@ -184,6 +190,23 @@ func New(name string, p *program.Program) *Coordinator {
 	// first request (no "nil snapshot" fallback state exists).
 	c.publishSnapshotLocked()
 	return c
+}
+
+// SetRunID names the workflow instance this coordinator serves within a
+// run fleet. It must be set before traffic (the Manager sets it at shard
+// construction, Recover sets it before the idempotency window is rebuilt);
+// "" is the single-run mode.
+func (c *Coordinator) SetRunID(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runID = id
+}
+
+// RunID returns the coordinator's run id ("" in single-run mode).
+func (c *Coordinator) RunID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runID
 }
 
 // SetProfiler attaches a rule-engine cost profiler to the coordinator: the
@@ -738,7 +761,7 @@ func (c *Coordinator) notify(ctx context.Context, idx int) {
 				c.dropped++
 				c.droppedByPeer[peer]++
 				if c.metrics != nil {
-					c.metrics.notifDropped.With(string(peer)).Inc()
+					c.metrics.notifDropped.With(c.metrics.lv(string(peer))...).Inc()
 				}
 			}
 		}

@@ -26,17 +26,18 @@ func (c *Coordinator) DecisionLog() *declog.Logger {
 	return c.dlog.Load()
 }
 
-// emitDecision stamps the workflow name and the request's trace id onto d
-// and emits it. Nil-safe (no logger attached → no-op). c.name is immutable
-// once the coordinator is handed out (Recover rewrites it before
-// returning), so the lock-free read is safe — the same discipline logw
-// relies on.
+// emitDecision stamps the workflow name, the run id and the request's
+// trace id onto d and emits it. Nil-safe (no logger attached → no-op).
+// c.name and c.runID are immutable once the coordinator is handed out
+// (Recover and the Manager rewrite them before returning), so the
+// lock-free reads are safe — the same discipline logw relies on.
 func (c *Coordinator) emitDecision(ctx context.Context, d declog.Decision) {
 	l := c.dlog.Load()
 	if l == nil {
 		return
 	}
 	d.Workflow = c.name
+	d.Run = c.runID
 	if d.TraceID == "" {
 		d.TraceID = obs.SpanFrom(ctx).TraceID()
 	}

@@ -20,6 +20,11 @@ import (
 type DurabilityConfig struct {
 	// Dir is the data directory holding wal.log and snapshot.json.
 	Dir string
+	// RunID names the workflow instance this coordinator serves within a
+	// run fleet ("" = single-run mode). It is set before the idempotency
+	// window is rebuilt, so recovered dedupe entries land under the same
+	// run-scoped keys live submissions use.
+	RunID string
 	// Sync is the WAL fsync policy (default wal.SyncAlways).
 	Sync wal.SyncPolicy
 	// SyncInterval bounds the time between fsyncs under wal.SyncInterval.
@@ -92,6 +97,7 @@ func Recover(name string, p *program.Program, cfg DurabilityConfig) (*Coordinato
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	c := New(name, p)
+	c.runID = cfg.RunID
 	c.log = log
 	c.snapshotEvery = cfg.SnapshotEvery
 	c.noGroupCommit = cfg.NoGroupCommit

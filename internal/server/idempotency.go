@@ -18,6 +18,22 @@ type idemEntry struct {
 	done chan struct{}
 	res  *SubmitResult
 	err  error
+	// key is the raw client key (the dedupe map is keyed by the run-scoped
+	// form, see idemScope); snapshots export the raw key because each run's
+	// WAL is private — re-scoping happens again at recovery.
+	key string
+}
+
+// idemScope qualifies a client idempotency key with the coordinator's run
+// id, so the same key replayed against two runs of one fleet dedupes per
+// run instead of cross-run (NUL cannot appear in either part ambiguously:
+// run ids are validated by the Manager). Single-run mode ("" id) keeps raw
+// keys. Callers hold the lock (runID is written once, before traffic).
+func (c *Coordinator) idemScope(key string) string {
+	if c.runID == "" {
+		return key
+	}
+	return c.runID + "\x00" + key
 }
 
 // defaultIdemWindow bounds the dedupe window when DurabilityConfig (or the
@@ -37,8 +53,9 @@ func (c *Coordinator) SubmitIdemCtx(ctx context.Context, peer schema.Peer, ruleN
 		return c.submitCtx(ctx, peer, ruleName, bindings, "")
 	}
 	c.mu.Lock()
+	sk := c.idemScope(key)
 	for {
-		ent, ok := c.idem[key]
+		ent, ok := c.idem[sk]
 		if !ok {
 			break
 		}
@@ -68,8 +85,8 @@ func (c *Coordinator) SubmitIdemCtx(ctx context.Context, peer schema.Peer, ruleN
 		}
 		c.mu.Lock()
 	}
-	ent := &idemEntry{done: make(chan struct{})}
-	c.idem[key] = ent
+	ent := &idemEntry{done: make(chan struct{}), key: key}
+	c.idem[sk] = ent
 	c.mu.Unlock()
 
 	res, err := c.submitCtx(ctx, peer, ruleName, bindings, key)
@@ -79,9 +96,9 @@ func (c *Coordinator) SubmitIdemCtx(ctx context.Context, peer schema.Peer, ruleN
 	if err != nil {
 		// Not applied (a crash-ambiguous record, if durable, is rediscovered
 		// from the WAL at recovery); free the key so a retry can execute.
-		delete(c.idem, key)
+		delete(c.idem, sk)
 	} else {
-		c.idemOrder = append(c.idemOrder, key)
+		c.idemOrder = append(c.idemOrder, sk)
 		c.evictIdemLocked()
 	}
 	close(ent.done)
@@ -122,7 +139,8 @@ func (c *Coordinator) evictIdemLocked() {
 // the same answer the original submission did. Callers hold the lock (or
 // own the coordinator exclusively, as Recover does).
 func (c *Coordinator) addIdemLocked(key string, index int) {
-	if _, ok := c.idem[key]; ok {
+	sk := c.idemScope(key)
+	if _, ok := c.idem[sk]; ok {
 		return
 	}
 	done := make(chan struct{})
@@ -139,8 +157,8 @@ func (c *Coordinator) addIdemLocked(key string, index int) {
 			}
 		}
 	}
-	c.idem[key] = &idemEntry{done: done, res: res}
-	c.idemOrder = append(c.idemOrder, key)
+	c.idem[sk] = &idemEntry{done: done, res: res, key: key}
+	c.idemOrder = append(c.idemOrder, sk)
 	c.evictIdemLocked()
 }
 
@@ -153,7 +171,7 @@ func (c *Coordinator) idemWindowLocked() []wal.IdemEntry {
 	out := make([]wal.IdemEntry, 0, len(c.idemOrder))
 	for _, k := range c.idemOrder {
 		if ent := c.idem[k]; ent != nil && ent.res != nil {
-			out = append(out, wal.IdemEntry{Key: k, Index: ent.res.Index})
+			out = append(out, wal.IdemEntry{Key: ent.key, Index: ent.res.Index})
 		}
 	}
 	return out

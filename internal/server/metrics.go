@@ -15,8 +15,21 @@ import (
 // documented in README.md ("Observability"). Registration is get-or-create,
 // so wiring two coordinators (or re-wiring after recovery) onto one
 // registry shares series instead of colliding.
+//
+// Two labeling modes exist and must not mix on one registry (a family
+// re-registered with a different label schema panics): NewMetrics is the
+// single-run mode with unlabeled coordinator families, NewRunMetrics is the
+// fleet mode where every coordinator/read/decider family carries a leading
+// "run" label so no shard's counters are invisible or conflated. The HTTP
+// families are shared (unlabeled) in both modes: requests are counted where
+// they arrive, before run routing.
 type Metrics struct {
 	reg *obs.Registry
+	// run is the "run" label value of the coordinator families ("" = the
+	// single-run unlabeled mode). Scalar families are bound to the run's
+	// series at construction; vec families prepend it via lv at the call
+	// sites.
+	run string
 
 	// HTTP layer.
 	httpRequests  obs.CounterVec // route, code (status class: 2xx…5xx)
@@ -53,10 +66,48 @@ type Metrics struct {
 	deciderWorkers *obs.Gauge
 }
 
-// NewMetrics registers (or retrieves) the server metric families on reg.
-func NewMetrics(reg *obs.Registry) *Metrics {
+// NewMetrics registers (or retrieves) the server metric families on reg in
+// the single-run (unlabeled) mode.
+func NewMetrics(reg *obs.Registry) *Metrics { return newMetrics(reg, "") }
+
+// NewRunMetrics registers the server metric families on reg with every
+// coordinator/read/decider family carrying a leading "run" label bound to
+// the given run id — the fleet mode the Manager instruments each shard
+// with. Fleet totals are sums over the run label (the /statusz summarizer
+// already folds a family's series); the registry must not also host the
+// unlabeled single-run schema.
+func NewRunMetrics(reg *obs.Registry, run string) *Metrics {
+	if run == "" {
+		panic("server: NewRunMetrics requires a run id")
+	}
+	return newMetrics(reg, run)
+}
+
+func newMetrics(reg *obs.Registry, run string) *Metrics {
+	// In run mode scalar families become single-label vecs bound to this
+	// run's series here, so every consumer keeps its *Counter/*Gauge view;
+	// multi-label vecs get the "run" label prepended (and lv at call sites).
+	counter := func(name, help string) *obs.Counter {
+		if run == "" {
+			return reg.Counter(name, help)
+		}
+		return reg.CounterVec(name, help, "run").With(run)
+	}
+	gauge := func(name, help string) *obs.Gauge {
+		if run == "" {
+			return reg.Gauge(name, help)
+		}
+		return reg.GaugeVec(name, help, "run").With(run)
+	}
+	counterVec := func(name, help string, labels ...string) obs.CounterVec {
+		if run != "" {
+			labels = append([]string{"run"}, labels...)
+		}
+		return reg.CounterVec(name, help, labels...)
+	}
 	return &Metrics{
 		reg: reg,
+		run: run,
 		httpRequests: reg.CounterVec("wf_http_requests_total",
 			"HTTP requests served, by route and status class.", "route", "code"),
 		httpInFlight: reg.Gauge("wf_http_in_flight_requests",
@@ -66,51 +117,60 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		admissionShed: reg.Counter("wf_admission_shed_total",
 			"Submissions shed with 429 by the in-flight admission cap."),
 
-		submitAccepted: reg.Counter("wf_submissions_accepted_total",
+		submitAccepted: counter("wf_submissions_accepted_total",
 			"Submissions accepted into the global run."),
-		submitRejected: reg.CounterVec("wf_submissions_rejected_total",
+		submitRejected: counterVec("wf_submissions_rejected_total",
 			"Submissions rejected, by reason (closed, unknown_rule, wrong_peer, not_applicable, guard, wal).", "reason"),
-		rollbacks: reg.Counter("wf_rollbacks_total",
+		rollbacks: counter("wf_rollbacks_total",
 			"Run rollbacks after a rejected submission (guard violation or WAL failure)."),
-		idemReplays: reg.Counter("wf_idempotent_replays_total",
+		idemReplays: counter("wf_idempotent_replays_total",
 			"Retried submissions answered from the idempotency window without re-applying."),
-		runEvents: reg.Gauge("wf_run_events",
+		runEvents: gauge("wf_run_events",
 			"Events accepted into the global run so far."),
-		subscribers: reg.Gauge("wf_subscribers",
+		subscribers: gauge("wf_subscribers",
 			"Registered notification subscribers."),
-		notifSent: reg.Counter("wf_notifications_sent_total",
+		notifSent: counter("wf_notifications_sent_total",
 			"Notifications delivered to subscriber channels."),
-		notifDropped: reg.CounterVec("wf_notifications_dropped_total",
+		notifDropped: counterVec("wf_notifications_dropped_total",
 			"Notifications dropped on full subscriber channels, by peer.", "peer"),
-		recoverySecs: reg.Gauge("wf_coordinator_recovery_seconds",
+		recoverySecs: gauge("wf_coordinator_recovery_seconds",
 			"Wall time of the last snapshot+WAL recovery."),
-		recoveredEvs: reg.Gauge("wf_coordinator_recovered_events",
+		recoveredEvs: gauge("wf_coordinator_recovered_events",
 			"Events reconstructed by the last recovery."),
 
-		readLockfree: reg.Counter("wf_read_lockfree_total",
+		readLockfree: counter("wf_read_lockfree_total",
 			"Reads (view, explain, scenario, transitions, trace) served from the published snapshot without the coordinator lock."),
-		readLocked: reg.Counter("wf_read_locked_total",
+		readLocked: counter("wf_read_locked_total",
 			"Reads served on the coordinator-mutex fallback path (-locked-reads or baseline benchmarking)."),
-		snapSwaps: reg.Counter("wf_snapshot_swaps_total",
+		snapSwaps: counter("wf_snapshot_swaps_total",
 			"Read-snapshot publications (one per release batch, plus construction and recovery)."),
-		snapAge: reg.Gauge("wf_snapshot_age_seconds",
+		snapAge: gauge("wf_snapshot_age_seconds",
 			"Age of the published read snapshot at scrape time."),
 
-		deciderRuns: reg.CounterVec("wf_decider_runs_total",
+		deciderRuns: counterVec("wf_decider_runs_total",
 			"Decider invocations via Certify, by check (bounded, transparent) and outcome (ok, violation, cancelled, error).", "check", "outcome"),
-		deciderNodes: reg.Counter("wf_decider_nodes_total",
+		deciderNodes: counter("wf_decider_nodes_total",
 			"Search-tree nodes expanded by the deciders."),
-		deciderHits: reg.Counter("wf_decider_cache_hits_total",
+		deciderHits: counter("wf_decider_cache_hits_total",
 			"Candidate-memo cache hits in the decider search."),
-		deciderMisses: reg.Counter("wf_decider_cache_misses_total",
+		deciderMisses: counter("wf_decider_cache_misses_total",
 			"Candidate-memo cache misses in the decider search."),
-		deciderStates: reg.Counter("wf_decider_states_total",
+		deciderStates: counter("wf_decider_states_total",
 			"Distinct canonical states kept by the instance enumeration."),
-		deciderCancels: reg.Counter("wf_decider_cancellations_total",
+		deciderCancels: counter("wf_decider_cancellations_total",
 			"Decider searches abandoned by context cancellation."),
-		deciderWorkers: reg.Gauge("wf_decider_workers",
+		deciderWorkers: gauge("wf_decider_workers",
 			"Worker-pool width of the last decider search."),
 	}
+}
+
+// lv prepends the run label value in fleet mode, so multi-label vec call
+// sites write m.x.With(m.lv(...)...) once and serve both modes.
+func (m *Metrics) lv(values ...string) []string {
+	if m.run == "" {
+		return values
+	}
+	return append([]string{m.run}, values...)
 }
 
 // Registry returns the backing registry (for /metrics and /statusz).
@@ -119,7 +179,7 @@ func (m *Metrics) Registry() *obs.Registry { return m.reg }
 // rejected records one rejected submission. Nil-safe.
 func (m *Metrics) rejected(reason string) {
 	if m != nil {
-		m.submitRejected.With(reason).Inc()
+		m.submitRejected.With(m.lv(reason)...).Inc()
 	}
 }
 
@@ -209,7 +269,7 @@ func (m *Metrics) deciderOutcome(check string, violation bool, err error) {
 	case violation:
 		outcome = "violation"
 	}
-	m.deciderRuns.With(check, outcome).Inc()
+	m.deciderRuns.With(m.lv(check, outcome)...).Inc()
 }
 
 // Instrument attaches the coordinator to a metric registry and returns the
@@ -218,10 +278,20 @@ func (m *Metrics) deciderOutcome(check string, violation bool, err error) {
 // current state, so a recovered run is visible immediately. Safe to call
 // once, before or after traffic starts.
 func (c *Coordinator) Instrument(reg *obs.Registry) *Metrics {
-	m := NewMetrics(reg)
+	return c.instrument(NewMetrics(reg))
+}
+
+// InstrumentRun is Instrument in the fleet mode: the coordinator's families
+// carry the run label so N shards on one registry stay distinguishable. The
+// Manager calls it with each shard's run id.
+func (c *Coordinator) InstrumentRun(reg *obs.Registry, run string) *Metrics {
+	return c.instrument(NewRunMetrics(reg, run))
+}
+
+func (c *Coordinator) instrument(m *Metrics) *Metrics {
 	// The snapshot-age gauge is sampled at scrape time (ages advance whether
 	// or not anything is published; a periodic setter would always be stale).
-	reg.OnGather(func() {
+	m.reg.OnGather(func() {
 		if _, age, _ := c.SnapshotInfo(); age > 0 {
 			m.snapAge.Set(age.Seconds())
 		}

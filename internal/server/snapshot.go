@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"collabwf/internal/cond"
 	"collabwf/internal/core"
 	"collabwf/internal/program"
 	"collabwf/internal/schema"
@@ -46,6 +47,10 @@ type snapshot struct {
 	// feeding the wf_snapshot_age_seconds gauge.
 	seq  uint64
 	born int64
+	// cnt is the owning coordinator's condition-eval counter block (nil when
+	// unprofiled): visibility checks on the snapshot attribute their
+	// selection evaluations to that run, not to the process-global sink.
+	cnt *cond.EvalCounts
 }
 
 // snapshot implements core.RunReader over the captured prefix.
@@ -56,7 +61,7 @@ func (s *snapshot) Event(i int) *program.Event     { return s.steps[i].Event }
 func (s *snapshot) Effects(i int) []program.Effect { return s.steps[i].Effects }
 
 func (s *snapshot) VisibleAt(i int, p schema.Peer) bool {
-	return program.StepVisibleAt(s.prog.Schema, &s.steps[i], p)
+	return program.StepVisibleAtCount(s.prog.Schema, &s.steps[i], p, s.cnt)
 }
 
 // instanceAt returns I_i of the captured prefix; -1 is the initial instance.
@@ -100,6 +105,7 @@ func (c *Coordinator) publishSnapshotLocked() {
 		exp:     exp,
 		seq:     c.snapSeq,
 		born:    time.Now().UnixNano(),
+		cnt:     c.profiler.Cond(),
 	}
 	c.snap.Store(s)
 	c.metrics.snapshotSwapped()

@@ -13,7 +13,10 @@ import (
 // summary of the coordinator (what /metrics exposes as raw families,
 // /statusz condenses into one readable object).
 type Statusz struct {
-	Workflow      string  `json:"workflow"`
+	Workflow string `json:"workflow"`
+	// Run is the id of the workflow instance this page describes (empty in
+	// the single-run server; "default" and friends under the Manager).
+	Run           string  `json:"run,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Events        int     `json:"events"`
 	Durable       bool    `json:"durable"`
@@ -45,6 +48,36 @@ type Statusz struct {
 	// Metrics condenses every registered family to a scalar: counters and
 	// gauges sum their series; histograms report {count, sum}.
 	Metrics map[string]any `json:"metrics,omitempty"`
+	// Runs is the fleet block (Manager statusz only): one row per active
+	// run plus the aggregate counts, so no shard is invisible.
+	Runs *RunsStatusz `json:"runs,omitempty"`
+}
+
+// RunsStatusz is the Manager's fleet summary on /statusz.
+type RunsStatusz struct {
+	// Active counts the live shards (the default run included); Created and
+	// Archived are lifetime tallies of the lifecycle API.
+	Active   int `json:"active"`
+	Created  int `json:"created"`
+	Archived int `json:"archived"`
+	// Events is the fleet-wide released-event total.
+	Events int `json:"events"`
+	// Runs lists the live shards sorted by id.
+	Runs []RunStatus `json:"runs"`
+}
+
+// RunStatus is one shard's row in the fleet block — the per-run view of the
+// gauges that a single-run /statusz reports globally (run length, commit
+// queue depth, snapshot age).
+type RunStatus struct {
+	ID               string  `json:"id"`
+	Workflow         string  `json:"workflow"`
+	Events           int     `json:"events"`
+	CommitQueueDepth int     `json:"commit_queue_depth"`
+	SnapshotAge      float64 `json:"snapshot_age_seconds"`
+	Subscribers      int     `json:"subscribers"`
+	Ready            string  `json:"ready"`
+	WALStalled       string  `json:"wal_stalled,omitempty"`
 }
 
 // DroppedNotifications is the /statusz drop report.
@@ -65,34 +98,61 @@ type SnapshotStatus struct {
 func StatuszHandler(c *Coordinator, reg *obs.Registry) http.Handler {
 	start := time.Now()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		st := Statusz{
-			Workflow:         c.Name(),
-			UptimeSeconds:    time.Since(start).Seconds(),
-			Events:           c.Len(),
-			Durable:          c.Durable(),
-			CommitQueueDepth: c.CommitQueueDepth(),
-			Ready:            "ok",
-			WALStalled:       c.WALStalled(),
-			Guards:           c.Guards(),
-			Subscribers:      c.Subscribers(),
-			DroppedNotifications: DroppedNotifications{
-				Total:  c.Dropped(),
-				ByPeer: c.DroppedByPeer(),
-			},
-		}
-		seq, age, events := c.SnapshotInfo()
-		st.Snapshot = SnapshotStatus{Seq: seq, AgeSeconds: age.Seconds(), Events: events}
-		st.Build = obs.ReadBuild()
-		st.DecisionLog = c.DecisionLog().Status()
-		st.RuleEngine = c.Profiler().Status(3)
-		if err := c.Ready(); err != nil {
-			st.Ready = err.Error()
-		}
-		if reg != nil {
-			st.Metrics = summarize(reg)
-		}
-		writeJSON(w, st)
+		writeJSON(w, statuszFor(c, reg, start))
 	})
+}
+
+// statuszFor assembles the operator summary document; the single-run
+// handler serves it as-is, the Manager's fleet handler adds the runs block.
+func statuszFor(c *Coordinator, reg *obs.Registry, start time.Time) Statusz {
+	st := Statusz{
+		Workflow:         c.Name(),
+		Run:              c.RunID(),
+		UptimeSeconds:    time.Since(start).Seconds(),
+		Events:           c.Len(),
+		Durable:          c.Durable(),
+		CommitQueueDepth: c.CommitQueueDepth(),
+		Ready:            "ok",
+		WALStalled:       c.WALStalled(),
+		Guards:           c.Guards(),
+		Subscribers:      c.Subscribers(),
+		DroppedNotifications: DroppedNotifications{
+			Total:  c.Dropped(),
+			ByPeer: c.DroppedByPeer(),
+		},
+	}
+	seq, age, events := c.SnapshotInfo()
+	st.Snapshot = SnapshotStatus{Seq: seq, AgeSeconds: age.Seconds(), Events: events}
+	st.Build = obs.ReadBuild()
+	st.DecisionLog = c.DecisionLog().Status()
+	st.RuleEngine = c.Profiler().Status(3)
+	if err := c.Ready(); err != nil {
+		st.Ready = err.Error()
+	}
+	if reg != nil {
+		st.Metrics = summarize(reg)
+	}
+	return st
+}
+
+// runStatus condenses one shard into its fleet-block row.
+func runStatus(id string, c *Coordinator) RunStatus {
+	rs := RunStatus{
+		ID:               id,
+		Workflow:         c.Name(),
+		Events:           c.Len(),
+		CommitQueueDepth: c.CommitQueueDepth(),
+		Subscribers:      c.Subscribers(),
+		Ready:            "ok",
+		WALStalled:       c.WALStalled(),
+	}
+	if _, age, _ := c.SnapshotInfo(); age > 0 {
+		rs.SnapshotAge = age.Seconds()
+	}
+	if err := c.Ready(); err != nil {
+		rs.Ready = err.Error()
+	}
+	return rs
 }
 
 // summarize folds a registry snapshot into family → scalar form: counter
